@@ -1,0 +1,30 @@
+"""The paper-claims ledger as a benchmark artefact.
+
+Runs every fast analytical claim check (storage premium, repair
+reduction, Theorem 5 optimality, parity alignment, MTTDL ordering,
+degraded-read speedup, archival scaling) and writes the ledger to
+``results/``.  A regression anywhere in the stack that breaks a
+published number fails here by claim id.
+"""
+
+from repro.experiments.claims import check_all_claims, render_claims
+
+from conftest import write_report
+
+
+def test_paper_claims_ledger(benchmark):
+    results = benchmark(check_all_claims)
+    report = render_claims(results)
+    write_report("paper_claims.txt", report)
+    print()
+    print(report)
+    failing = [r.claim.id for r in results if not r.holds]
+    assert not failing, f"claims regressed: {failing}"
+    # The one documented delta stays a delta (it must neither silently
+    # start failing nor silently become an exact match without the
+    # docs being updated).
+    statuses = {r.claim.id: r.status for r in results}
+    assert statuses["mttdl-zeros"] == "delta"
+    assert all(
+        status in ("yes", "delta") for status in statuses.values()
+    )

@@ -1,0 +1,34 @@
+"""Figure 1: node failures per day in a 3000-node production cluster.
+
+Regenerates the month-long daily-failure trace (synthetic, seeded) and
+checks its envelope against the paper's description: it is "quite
+typical to have 20 or more node failures per day", with bursts reaching
+~110 in the plotted month.
+"""
+
+from repro.cluster import FailureTraceGenerator, trace_summary
+from repro.experiments import render_fig1
+from repro.experiments.traces import generate_fig1_trace
+
+from conftest import write_report
+
+
+def test_fig1_failure_trace(benchmark):
+    trace = benchmark(lambda: generate_fig1_trace(days=31))
+    summary = trace_summary(trace)
+    report = render_fig1(trace)
+    write_report("fig1_failure_trace.txt", report)
+    print()
+    print(report)
+    assert len(trace) == 31
+    assert summary["days_over_20"] >= 10  # "typical to have 20 or more"
+    assert summary["mean"] >= 15
+    assert summary["max"] >= 90  # the paper's month shows a burst near 110
+
+
+def test_fig1_yearly_envelope(benchmark):
+    """Longer horizon: bursts appear and never exceed the cluster size."""
+    trace = benchmark(lambda: FailureTraceGenerator().generate(days=365, seed=7))
+    summary = trace_summary(trace)
+    assert summary["max"] >= 60
+    assert summary["max"] <= 3000

@@ -1,0 +1,100 @@
+"""Figure 5: cluster network traffic (a), disk bytes read (b) and CPU
+utilisation (c) over time during the failure-event sequence, at the
+paper's 5-minute monitoring resolution.
+
+Paper shape: eight clearly separated activity spikes; RS spikes roughly
+twice as tall/wide as Xorbas in traffic and disk reads; CPU profiles of
+the two systems similar (Section 5.2.3's conclusion that CPU does not
+drive the repair-time gap).
+"""
+
+import pytest
+
+from repro.experiments import format_series
+
+from conftest import get_ec2_result, write_report
+
+
+@pytest.fixture(scope="module")
+def ec2_200():
+    return get_ec2_result(200)
+
+
+def _spikes(values: list[float]) -> int:
+    """Count separated activity spikes (contiguous non-zero regions)."""
+    spikes = 0
+    in_spike = False
+    threshold = max(values) * 0.02 if values else 0.0
+    for value in values:
+        if value > threshold and not in_spike:
+            spikes += 1
+            in_spike = True
+        elif value <= threshold:
+            in_spike = False
+    return spikes
+
+
+def test_fig5a_network_series(ec2_200, benchmark):
+    horizon = max(
+        run.events[-1].repair_end or 0 for run in ec2_200.runs()
+    )
+    series = benchmark(
+        lambda: {
+            run.scheme: run.metrics.network_series.series(until=horizon)
+            for run in ec2_200.runs()
+        }
+    )
+    lines = ["Figure 5(a): network out traffic per 5-minute bucket (GB)"]
+    for scheme, points in series.items():
+        lines.append(format_series(scheme, points, scale=1e-9, unit="GB"))
+    report = "\n".join(lines)
+    write_report("fig5a_network_series.txt", report)
+    print()
+    print(report)
+    rs_values = [v for _, v in series["HDFS-RS"]]
+    xorbas_values = [v for _, v in series["HDFS-Xorbas"]]
+    assert _spikes(rs_values) >= 6  # the eight events are visible
+    assert sum(xorbas_values) < 0.75 * sum(rs_values)
+
+
+def test_fig5b_disk_series(ec2_200, benchmark):
+    series = benchmark(
+        lambda: {
+            run.scheme: run.metrics.disk_series.values() for run in ec2_200.runs()
+        }
+    )
+    lines = ["Figure 5(b): disk bytes read per 5-minute bucket (GB)"]
+    for scheme, values in series.items():
+        peak = max(values)
+        lines.append(f"  {scheme}: total={sum(values) / 1e9:.1f}GB peak={peak / 1e9:.1f}GB/bucket")
+    report = "\n".join(lines)
+    write_report("fig5b_disk_series.txt", report)
+    print()
+    print(report)
+    assert sum(series["HDFS-Xorbas"]) < 0.75 * sum(series["HDFS-RS"])
+
+
+def test_fig5c_cpu_series(ec2_200, benchmark):
+    def cpu():
+        out = {}
+        for run in ec2_200.runs():
+            config = run.cluster.config
+            out[run.scheme] = run.metrics.cpu_utilization_series(
+                config.num_nodes, config.map_slots_per_node
+            )
+        return out
+
+    series = benchmark(cpu)
+    lines = ["Figure 5(c): average CPU utilisation per 5-minute bucket"]
+    for scheme, points in series.items():
+        peak = max(v for _, v in points)
+        mean = sum(v for _, v in points) / len(points)
+        lines.append(f"  {scheme}: peak={peak:.2f} mean={mean:.3f}")
+    report = "\n".join(lines)
+    write_report("fig5c_cpu_series.txt", report)
+    print()
+    print(report)
+    # Section 5.2.3: the two systems have similar CPU profiles.
+    peaks = {s: max(v for _, v in pts) for s, pts in series.items()}
+    assert peaks["HDFS-Xorbas"] <= peaks["HDFS-RS"] * 1.5
+    assert all(peak <= 1.0 for peak in peaks.values())

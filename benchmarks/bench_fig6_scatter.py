@@ -1,0 +1,119 @@
+"""Figure 6: bytes read (a), network traffic (b) and repair duration (c)
+versus blocks lost, pooled over the 50-, 100- and 200-file EC2
+experiments, with zero-intercept least-squares slopes.
+
+Paper numbers: the slopes give 11.5 (RS) and 5.8 (Xorbas) blocks read
+per lost block — "the 2x benefit of HDFS-Xorbas" (Section 5.2.1).
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_BLOCKS_READ_PER_LOST,
+    fig6_slopes,
+    format_table,
+)
+
+from conftest import get_ec2_result, write_report
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return [get_ec2_result(count) for count in (50, 100, 200)]
+
+
+def test_fig6_run_smaller_experiments(benchmark):
+    """Simulate the 50- and 100-file experiments (200 is cached)."""
+
+    def run_both():
+        return get_ec2_result(50), get_ec2_result(100)
+
+    fifty, hundred = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert len(fifty.rs.events) == 8
+    assert len(hundred.xorbas.events) == 8
+
+
+def test_fig6_scatter_and_slopes(all_results, benchmark):
+    slopes = benchmark(lambda: fig6_slopes(all_results))
+    scatter_rows = []
+    for result in all_results:
+        for run in result.runs():
+            for event in run.events:
+                scatter_rows.append(
+                    (
+                        result.num_files,
+                        run.scheme,
+                        event.blocks_lost,
+                        f"{event.hdfs_bytes_read / 1e9:.1f}",
+                        f"{event.network_out_bytes / 1e9:.1f}",
+                        f"{event.repair_duration / 60:.1f}",
+                    )
+                )
+    scatter = format_table(
+        ["files", "scheme", "blocks lost", "read GB", "net GB", "duration min"],
+        scatter_rows,
+        title="Figure 6 scatter: every failure event from all experiments",
+    )
+    slope_rows = [
+        (
+            scheme,
+            f"{values['blocks_read_per_lost']:.1f}",
+            f"{PAPER_BLOCKS_READ_PER_LOST[scheme]:.1f}",
+            f"{values['network_gb_per_lost']:.2f}",
+            f"{values['repair_minutes_per_lost']:.2f}",
+        )
+        for scheme, values in slopes.items()
+    ]
+    slope_table = format_table(
+        [
+            "scheme",
+            "blocks read/lost",
+            "paper",
+            "net GB/lost",
+            "repair min/lost",
+        ],
+        slope_rows,
+        title="Figure 6 least-squares slopes (zero intercept)",
+    )
+    report = scatter + "\n\n" + slope_table
+    write_report("fig6_scatter_slopes.txt", report)
+    print()
+    print(slope_table)
+
+    rs = slopes["HDFS-RS"]
+    xorbas = slopes["HDFS-Xorbas"]
+    # Paper: 11.5 vs 5.8 blocks read per lost block — roughly 2x.
+    assert rs["blocks_read_per_lost"] == pytest.approx(11.5, rel=0.2)
+    assert xorbas["blocks_read_per_lost"] == pytest.approx(5.8, rel=0.2)
+    assert 1.5 <= rs["blocks_read_per_lost"] / xorbas["blocks_read_per_lost"] <= 2.6
+    # Traffic and duration track the read advantage.
+    assert xorbas["network_gb_per_lost"] < rs["network_gb_per_lost"]
+    assert xorbas["repair_minutes_per_lost"] < rs["repair_minutes_per_lost"]
+
+
+def test_fig6_linearity(all_results, benchmark):
+    """Bytes read grows linearly in blocks lost (R^2 of the fit)."""
+
+    def r_squared():
+        import numpy as np
+
+        out = {}
+        for scheme_index, scheme in enumerate(("HDFS-RS", "HDFS-Xorbas")):
+            xs, ys = [], []
+            for result in all_results:
+                run = result.runs()[scheme_index]
+                for event in run.events:
+                    xs.append(event.blocks_lost)
+                    ys.append(event.hdfs_bytes_read)
+            x = np.asarray(xs)
+            y = np.asarray(ys)
+            slope = float((x * y).sum() / (x * x).sum())
+            residual = ((y - slope * x) ** 2).sum()
+            total = ((y - y.mean()) ** 2).sum()
+            out[scheme] = 1 - residual / total
+        return out
+
+    scores = benchmark(r_squared)
+    print()
+    print("Figure 6(a) linearity R^2:", {k: round(v, 3) for k, v in scores.items()})
+    assert all(score > 0.9 for score in scores.values())

@@ -1,0 +1,93 @@
+"""Figure 7 + Table 2: WordCount completion times with ~20% of blocks
+missing (Section 5.2.4).
+
+Paper values (following the text; Table 2's two degraded columns appear
+transposed relative to it): baseline 83 min, Xorbas 92 min (+9), RS
+106 min (+23); 30 GB of input read in the all-available case.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE2, format_table, run_workload_experiment
+
+from conftest import write_report
+
+_CACHE = {}
+
+
+def get_workload_results():
+    if "runs" not in _CACHE:
+        _CACHE["runs"] = run_workload_experiment(seed=0)
+    return _CACHE["runs"]
+
+
+def test_fig7_workload_completion_times(benchmark):
+    results = benchmark.pedantic(get_workload_results, rounds=1, iterations=1)
+    baseline = results["baseline"]
+    rs = results["rs"]
+    xorbas = results["xorbas"]
+    rows = []
+    for job_index in range(len(baseline.job_minutes)):
+        rows.append(
+            (
+                job_index + 1,
+                f"{baseline.job_minutes[job_index]:.0f}",
+                f"{xorbas.job_minutes[job_index]:.0f}",
+                f"{rs.job_minutes[job_index]:.0f}",
+            )
+        )
+    table = format_table(
+        ["job", "all available (min)", "20% missing Xorbas", "20% missing RS"],
+        rows,
+        title="Figure 7: completion times of 10 WordCount jobs",
+    )
+    summary = format_table(
+        ["scenario", "avg minutes", "paper", "bytes read GB"],
+        [
+            ("all available", f"{baseline.average_minutes:.0f}",
+             PAPER_TABLE2["baseline_minutes"], f"{baseline.total_bytes_read / 1e9:.1f}"),
+            ("20% missing Xorbas", f"{xorbas.average_minutes:.0f}",
+             PAPER_TABLE2["xorbas_minutes"], f"{xorbas.total_bytes_read / 1e9:.1f}"),
+            ("20% missing RS", f"{rs.average_minutes:.0f}",
+             PAPER_TABLE2["rs_minutes"], f"{rs.total_bytes_read / 1e9:.1f}"),
+        ],
+        title="Table 2: repair impact on workload",
+    )
+    report = table + "\n\n" + summary
+    write_report("fig7_table2_workload.txt", report)
+    print()
+    print(summary)
+
+    # Ordering and magnitudes (paper: 83 / 92 / 106 minutes).
+    assert baseline.average_minutes < xorbas.average_minutes < rs.average_minutes
+    assert baseline.average_minutes == pytest.approx(83.0, rel=0.15)
+    assert xorbas.average_minutes == pytest.approx(92.0, rel=0.15)
+    assert rs.average_minutes == pytest.approx(106.0, rel=0.15)
+    # The missing-block delay roughly doubles from Xorbas to RS.
+    xorbas_delay = xorbas.average_minutes - baseline.average_minutes
+    rs_delay = rs.average_minutes - baseline.average_minutes
+    assert 1.5 <= rs_delay / xorbas_delay <= 3.5
+    # Baseline reads the 30 GB of job input (Table 2).
+    assert baseline.total_bytes_read / 1e9 == pytest.approx(
+        PAPER_TABLE2["baseline_bytes_read_gb"], rel=0.05
+    )
+
+
+def test_fig7_degraded_read_accounting(benchmark):
+    results = get_workload_results()
+
+    def extra_reads():
+        baseline = results["baseline"].total_bytes_read
+        return {
+            "rs": results["rs"].total_bytes_read - baseline,
+            "xorbas": results["xorbas"].total_bytes_read - baseline,
+        }
+
+    extras = benchmark(extra_reads)
+    print()
+    print(
+        "Degraded-read extra bytes: RS "
+        f"{extras['rs'] / 1e9:.1f} GB vs Xorbas {extras['xorbas'] / 1e9:.1f} GB"
+    )
+    # RS reconstructions read k=10 blocks vs Xorbas' 5: ~2x the extra bytes.
+    assert 1.6 <= extras["rs"] / extras["xorbas"] <= 2.4

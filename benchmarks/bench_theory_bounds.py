@@ -1,0 +1,144 @@
+"""Theory benchmarks: Theorems 1, 2, 4 and 5 and Corollary 1.
+
+These regenerate the paper's analytical claims: the (10,6,5) code's
+exhaustively certified distance/locality, the locality-distance tradeoff,
+the flow-graph achievability boundary, and the d_LRC/d_MDS -> 1
+asymptotics of Corollary 1.
+"""
+
+import pytest
+
+from repro.codes import (
+    certify_distance,
+    certify_locality,
+    distance_feasible,
+    locality_distance_bound,
+    max_feasible_distance,
+    overlapping_groups_distance_bound,
+    random_lrc,
+    rs_10_4,
+    theorem1_parameters,
+    xorbas_lrc,
+)
+from repro.experiments import format_table
+
+from conftest import write_report
+
+
+def test_theorem5_certification(benchmark):
+    """Exhaustive proof-by-enumeration that the Xorbas code has d = 5 and
+    locality 5 for all 16 blocks — the content of Theorem 5."""
+
+    def certify():
+        code = xorbas_lrc()
+        certify_distance(code, 5)
+        certify_locality(code, 5)
+        return code
+
+    code = benchmark.pedantic(certify, rounds=1, iterations=1)
+    assert code.minimum_distance() == 5
+    assert code.locality() == 5
+    assert overlapping_groups_distance_bound(16, 10, 5) == 5
+
+
+def test_theorem2_tradeoff_table(benchmark):
+    """The locality-distance bound across the tradeoff (Section 2)."""
+
+    def build():
+        rows = []
+        n, k = 16, 10
+        for r in range(1, k + 1):
+            rows.append((r, locality_distance_bound(n, k, r)))
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        ["locality r", "max distance d"],
+        rows,
+        title="Theorem 2: d <= n - ceil(k/r) - k + 2 for (k=10, n=16)",
+    )
+    write_report("theory_theorem2_tradeoff.txt", table)
+    print()
+    print(table)
+    distances = [d for _, d in rows]
+    assert distances == sorted(distances)  # more locality -> more distance
+    assert distances[-1] == 7  # r = k degenerates to Singleton
+
+
+def test_corollary1_asymptotics(benchmark):
+    """d_LRC / d_MDS -> 1 with r = log2(k) at fixed rate (Corollary 1)."""
+
+    def sweep():
+        return [(k, theorem1_parameters(k)) for k in (16, 64, 256, 1024, 4096, 2**14)]
+
+    results = benchmark(sweep)
+    rows = [
+        (k, p.r, p.n, p.distance, p.mds_distance, f"{p.distance_ratio:.4f}")
+        for k, p in results
+    ]
+    table = format_table(
+        ["k", "r=log2(k)", "n", "d_LRC", "d_MDS", "ratio"],
+        rows,
+        title="Corollary 1: distance ratio -> 1 as k grows",
+    )
+    write_report("theory_corollary1.txt", table)
+    print()
+    print(table)
+    ratios = [p.distance_ratio for _, p in results]
+    assert ratios == sorted(ratios)
+    # Convergence is O(1/log k): ~0.85 by k = 2^14 and still climbing.
+    assert ratios[-1] > 0.84
+
+
+def test_flowgraph_achievability_boundary(benchmark):
+    """Appendix C: the flow graph is feasible exactly up to the bound."""
+
+    def boundary():
+        out = []
+        for k, n, r in ((4, 9, 2), (2, 6, 2), (4, 8, 3), (6, 12, 3)):
+            bound = locality_distance_bound(n, k, r)
+            out.append(
+                (
+                    k,
+                    n,
+                    r,
+                    bound,
+                    max_feasible_distance(k, n, r),
+                    distance_feasible(k, n, r, bound + 1),
+                )
+            )
+        return out
+
+    rows = benchmark.pedantic(boundary, rounds=1, iterations=1)
+    table = format_table(
+        ["k", "n", "r", "Theorem 2 bound", "max feasible d", "bound+1 feasible?"],
+        rows,
+        title="Information flow graph achievability (Appendix C)",
+    )
+    write_report("theory_flowgraph.txt", table)
+    print()
+    print(table)
+    for k, n, r, bound, feasible, beyond in rows:
+        assert feasible == bound
+        assert not beyond
+
+
+def test_theorem4_random_construction(benchmark):
+    """Random LRCs achieve the optimal distance whp over GF(2^8)."""
+    import numpy as np
+
+    def construct():
+        return random_lrc(4, 9, 2, rng=np.random.default_rng(0))
+
+    code = benchmark.pedantic(construct, rounds=1, iterations=1)
+    assert code.minimum_distance() == locality_distance_bound(9, 4, 2)
+    assert code.locality() <= 2
+
+
+def test_lemma1_mds_locality(benchmark):
+    """Lemma 1: the RS(10,4) MDS code has locality exactly k = 10."""
+
+    def locality_of_first_block():
+        return rs_10_4().block_locality(0, max_r=10)
+
+    assert benchmark.pedantic(locality_of_first_block, rounds=1, iterations=1) == 10

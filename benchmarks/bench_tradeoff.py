@@ -1,0 +1,54 @@
+"""The locality / storage / repair tradeoff frontier (Sections 1.1-2).
+
+Sweeps `make_lrc(10, 4, r)` over localities, certifies each code's
+exact distance by enumeration, and asserts the frontier the paper
+narrates: repair cost falls r -> 2 as storage overhead rises, nothing
+dominates, RS sits at the storage-optimal / repair-pessimal corner and
+the Xorbas point at (r=5, 0.6x, d=5) is distance-optimal for its
+locality (Theorem 5's refined bound).
+"""
+
+import pytest
+
+from repro.experiments.tradeoff import (
+    frontier_is_monotone,
+    locality_sweep,
+    render_tradeoff,
+    verify_frontier,
+)
+
+from conftest import write_report
+
+
+def test_tradeoff_frontier(benchmark):
+    # Exhaustive distance certification of the r=2 point enumerates
+    # ~10^5 erasure patterns; one round is the measurement.
+    points = benchmark.pedantic(
+        locality_sweep, kwargs={"certify": True}, iterations=1, rounds=1
+    )
+    report = render_tradeoff(points)
+    write_report("tradeoff_frontier.txt", report)
+    print()
+    print(report)
+    verify_frontier(points)
+    assert frontier_is_monotone(points)
+    by_r = {p.locality: p for p in points}
+    # RS corner: minimal storage, maximal repair.
+    assert by_r[10].storage_overhead == pytest.approx(0.4)
+    assert by_r[10].repair_reads == 10
+    assert by_r[10].certified_distance == 5  # MDS
+    # Xorbas point: d = 5 meets the Theorem 5 refined bound exactly.
+    assert by_r[5].certified_distance == by_r[5].distance_bound == 5
+    assert by_r[5].storage_overhead == pytest.approx(0.6)
+    # Tighter localities pay storage: overhead strictly increases as r
+    # falls, and repair reads equal r everywhere (every block covered).
+    assert (
+        by_r[2].storage_overhead
+        > by_r[3].storage_overhead
+        > by_r[5].storage_overhead
+        > by_r[10].storage_overhead
+    )
+    for r in (2, 3, 5):
+        assert by_r[r].repair_reads == r
+        # Extension-code construction stays within the bound.
+        assert by_r[r].certified_distance <= by_r[r].distance_bound

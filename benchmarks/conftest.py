@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The EC2 simulations are the expensive part (tens of seconds each), and
+Figures 4, 5 and 6 all view the same runs, so results are cached at
+session scope: each cluster simulation executes exactly once per
+benchmark session regardless of how many benchmarks consume it.
+
+Every benchmark writes its paper-versus-measured report into
+``results/`` next to this directory, so the regenerated tables survive
+the pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import EC2ExperimentResult, run_ec2_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+_EC2_CACHE: dict[int, EC2ExperimentResult] = {}
+
+
+def get_ec2_result(num_files: int, seed: int | None = None) -> EC2ExperimentResult:
+    """Run (or fetch the cached) EC2 experiment at a given scale."""
+    if num_files not in _EC2_CACHE:
+        _EC2_CACHE[num_files] = run_ec2_experiment(
+            num_files=num_files, seed=seed if seed is not None else num_files
+        )
+    return _EC2_CACHE[num_files]
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

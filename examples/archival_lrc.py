@@ -1,0 +1,58 @@
+"""Large archival LRCs — the paper's closing proposal (Section 7).
+
+"One related area where we believe locally repairable codes can have a
+significant impact is purely archival clusters.  In this case we can
+deploy large LRCs (i.e., stripe sizes of 50 or 100 blocks) that can
+simultaneously offer high fault tolerance and small storage overhead."
+
+This example builds (k, m, r) LRCs with k = 25, 50 and 100 and compares
+them against same-rate Reed-Solomon codes: RS repair traffic grows
+linearly with the stripe size, LRC repair traffic stays fixed at r — the
+reason big-stripe RS is "impractical" and big-stripe LRC is not.
+
+Run:  python examples/archival_lrc.py
+"""
+
+import numpy as np
+
+from repro.codes import ReedSolomonCode, make_lrc
+from repro.galois import GF
+
+FIELD = GF(16)  # large stripes need a bigger field than GF(2^8)
+
+
+def main() -> None:
+    print(f"{'code':>18s} {'rate':>6s} {'overhead':>9s} "
+          f"{'repair reads':>13s} {'tolerates':>10s}")
+    for k, parities, r in ((25, 5, 5), (50, 10, 5), (100, 20, 5)):
+        rs = ReedSolomonCode(k, parities, field=FIELD)
+        lrc = make_lrc(k, parities, r, field=FIELD)
+        rs_reads = rs.k  # RS single-block repair downloads k blocks
+        plan_reads = max(
+            min(p.num_reads for p in lrc.repair_plans(i)) for i in range(lrc.n)
+        )
+        print(f"{rs.name:>18s} {rs.rate:6.2f} {rs.storage_overhead:8.0%} "
+              f"{rs_reads:13d} {rs.minimum_distance() - 1:10d}")
+        print(f"{lrc.name:>18s} {lrc.rate:6.2f} {lrc.storage_overhead:8.0%} "
+              f"{plan_reads:13d} {'>=%d' % parities:>10s}")
+
+    # Demonstrate an actual repair on the k=50 archival code.
+    k, parities, r = 50, 10, 5
+    lrc = make_lrc(k, parities, r, field=FIELD)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, FIELD.order, size=(k, 256)).astype(FIELD.dtype)
+    coded = lrc.encode(data)
+    lost = 17
+    survivors = {i: coded[i] for i in range(lrc.n) if i != lost}
+    plan = lrc.best_repair_plan(lost, survivors.keys())
+    rebuilt = lrc.repair(lost, survivors)
+    print(f"\nRepaired block {lost} of the (k=50) archival LRC by reading "
+          f"{plan.num_reads} blocks")
+    print(f"  (an RS(50,10) repair would read 50 blocks — 10x more)")
+    print(f"  rebuilt correctly: {np.array_equal(rebuilt, coded[lost])}")
+    print("\nLocal repairs also allow spinning disks down: only r + 1 disks "
+          "need to be awake for any single-block repair [21].")
+
+
+if __name__ == "__main__":
+    main()

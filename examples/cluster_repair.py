@@ -1,0 +1,63 @@
+"""Simulate an HDFS-Xorbas cluster through a DataNode failure.
+
+A 20-node cluster stores ten RAIDed 640 MB files.  We terminate one
+DataNode and watch the full repair pipeline: heartbeat-expiry detection,
+BlockFixer scan, repair MapReduce job with light-decoder tasks, and the
+metrics the paper's evaluation reports (Section 5.1).
+
+Run:  python examples/cluster_repair.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    BlockFixer,
+    FailureEventRecord,
+    FailureInjector,
+    HadoopCluster,
+    ec2_config,
+)
+from repro.codes import xorbas_lrc
+from repro.experiments.runner import run_until_quiescent
+
+
+def main() -> None:
+    config = ec2_config(num_nodes=20)
+    cluster = HadoopCluster(xorbas_lrc(), config, seed=7)
+    for i in range(10):
+        cluster.create_file(f"file{i}", 640e6)
+    cluster.raid_all_instant()
+    print("Cluster loaded:", cluster.fsck())
+    print(f"Stored bytes: {cluster.total_stored_bytes() / 1e9:.1f} GB\n")
+
+    fixer = BlockFixer(cluster)
+    fixer.start()
+    injector = FailureInjector(cluster, np.random.default_rng(1))
+
+    record = cluster.metrics.begin_event(
+        FailureEventRecord(label="1 node", nodes_killed=1, time=cluster.sim.now)
+    )
+    nodes, lost = injector.kill(1)
+    record.blocks_lost = lost
+    print(f"Terminated {nodes[0]} holding {lost} blocks")
+    print(f"(detection after {config.failure_detection_delay / 60:.1f} min of "
+          "missed heartbeats)\n")
+
+    run_until_quiescent(cluster, fixer)
+    cluster.metrics.end_event()
+
+    metrics = cluster.metrics
+    print("Repair complete:", cluster.fsck())
+    print(f"  HDFS bytes read : {metrics.hdfs_bytes_read / 1e9:6.2f} GB "
+          f"({metrics.hdfs_bytes_read / config.block_size / lost:.1f} blocks per lost block)")
+    print(f"  network traffic : {metrics.network_out_bytes / 1e9:6.2f} GB "
+          f"({metrics.network_out_bytes / metrics.hdfs_bytes_read:.1f}x bytes read)")
+    print(f"  repair duration : {record.repair_duration / 60:6.1f} minutes")
+    print(f"  light repairs   : {record.light_repairs}, heavy: {record.heavy_repairs}")
+    print(f"  data loss       : {len(cluster.data_loss_events)} blocks")
+    print("\nEvery rebuilt block was verified bit-for-bit against the "
+          "stripe's ground-truth payload inside the repair tasks.")
+
+
+if __name__ == "__main__":
+    main()

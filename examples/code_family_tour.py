@@ -1,0 +1,76 @@
+"""A tour of the code families the paper positions LRC against.
+
+Section 6 surveys the repair-efficient coding landscape; this example
+instantiates one member of each family at the paper's k=10 operating
+point, pushes real payloads through every encoder, repairs a lost block
+with each scheme's native mechanism, and prints the design-space table
+(storage vs repair download vs locality coverage).
+
+Run:  python examples/code_family_tour.py
+"""
+
+import numpy as np
+
+from repro.codes import (
+    SimpleRegeneratingCode,
+    pyramid_10_4,
+    rs_10_4,
+    three_replication,
+    xorbas_lrc,
+)
+from repro.experiments.baselines import render_baselines
+
+BLOCK_BYTES = 1 << 14  # 16 KiB payloads keep the tour instant
+
+
+def tour_scalar_code(code, data, lost: int) -> None:
+    coded = code.encode(data)
+    survivors = {i: coded[i] for i in range(code.n) if i != lost}
+    plan = code.best_repair_plan(lost, survivors.keys())
+    rebuilt = code.repair(lost, survivors)
+    ok = np.array_equal(rebuilt, coded[lost])
+    if plan is not None:
+        how = f"light plan: {plan.num_reads} reads, XOR-only={plan.is_xor_only()}"
+    else:
+        how = f"heavy decode: {code.heavy_read_count(survivors)} reads"
+    print(f"  {code.name:<18} lost block {lost:>2} -> {how}; correct={ok}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    print("Repairing one lost block with each scheme:\n")
+
+    # Replication carries one block per stripe.
+    one_block = rng.integers(0, 256, size=(1, BLOCK_BYTES), dtype=np.uint8)
+    tour_scalar_code(three_replication(), one_block, lost=1)
+
+    data = rng.integers(0, 256, size=(10, BLOCK_BYTES), dtype=np.uint8)
+    tour_scalar_code(rs_10_4(), data, lost=3)
+    tour_scalar_code(pyramid_10_4(), data, lost=3)
+    tour_scalar_code(xorbas_lrc(), data, lost=3)
+
+    # SRC is a vector code: nodes store (x, y, s) triples of half-blocks.
+    src = SimpleRegeneratingCode(14, 10)
+    sub_blocks = rng.integers(0, 256, size=(20, BLOCK_BYTES // 2), dtype=np.uint8)
+    storage = src.encode(sub_blocks)
+    lost = 3
+    rebuilt = src.repair_node(lost, storage)
+    ok = all(np.array_equal(a, b) for a, b in zip(rebuilt, storage[lost]))
+    reads = src.repair_reads(lost)
+    print(f"  {src.name:<18} lost node  {lost:>2} -> ring repair: "
+          f"{len(reads)} sub-symbol reads ({src.repair_block_equivalent:.0f} "
+          f"block-equivalents) from nodes {src.helper_nodes(lost)}; correct={ok}")
+
+    print()
+    print(render_baselines())
+    print()
+    print("Reading the table:")
+    print(" * RS minimises storage but repairs read the whole stripe.")
+    print(" * Pyramid gives data blocks locality but leaves 3 parities heavy.")
+    print(" * LRC covers every block with 5-read XOR repairs for one extra block.")
+    print(" * SRC repairs with only 3 block-equivalents but stores 1.1x overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Degraded reads under an analytics workload (the Figure 7 scenario).
+
+Runs WordCount jobs on a cluster where ~20% of input blocks are
+unavailable, comparing HDFS-RS and HDFS-Xorbas: every missing block must
+be reconstructed in memory before its task can proceed, and the LRC's
+5-block reconstructions keep jobs much closer to the all-available
+baseline than RS's 10-block ones.
+
+Run:  python examples/degraded_reads.py   (takes a few seconds)
+"""
+
+from repro.codes import rs_10_4, xorbas_lrc
+from repro.experiments.workload import run_workload_scenario
+
+
+def main() -> None:
+    print("Running three workload scenarios (10 WordCount jobs each)...\n")
+    scenarios = [
+        ("All blocks available", xorbas_lrc(), 0.0),
+        ("20% missing - Xorbas", xorbas_lrc(), 0.20),
+        ("20% missing - RS", rs_10_4(), 0.20),
+    ]
+    baseline_minutes = None
+    for name, code, missing in scenarios:
+        result = run_workload_scenario(name, code, missing, seed=0)
+        if baseline_minutes is None:
+            baseline_minutes = result.average_minutes
+        delay = result.average_minutes - baseline_minutes
+        print(f"{name:24s} avg job time {result.average_minutes:6.1f} min "
+              f"(+{delay:5.1f}) | reads {result.total_bytes_read / 1e9:5.1f} GB "
+              f"| degraded reads {result.degraded_reads}")
+    print(
+        "\nPaper (Section 5.2.4): 83 min baseline; the missing-block delay "
+        "is 9 minutes for Xorbas vs 23 minutes for RS, because an LRC "
+        "degraded read downloads 5 blocks instead of 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "XORing Elephants: Novel Erasure Codes for Big Data".
+
+Public API surface:
+
+* :mod:`repro.galois` — GF(2^m) arithmetic and exact linear algebra.
+* :mod:`repro.codes` — Reed-Solomon, LRC and replication codes, bounds,
+  certification, and the information flow graph.
+* :mod:`repro.reliability` — Markov MTTDL analysis (paper Section 4).
+* :mod:`repro.cluster` — discrete-event HDFS-RAID / HDFS-Xorbas simulator
+  (paper Section 3).
+* :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper's evaluation (Section 5).
+"""
+
+from .codes import (
+    DecodingError,
+    ErasureCode,
+    LocallyRepairableCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    RepairPlan,
+    make_lrc,
+    rs_10_4,
+    three_replication,
+    xorbas_lrc,
+)
+from .galois import GF, GF16, GF256
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GF",
+    "GF16",
+    "GF256",
+    "DecodingError",
+    "ErasureCode",
+    "LocallyRepairableCode",
+    "ReedSolomonCode",
+    "ReplicationCode",
+    "RepairPlan",
+    "make_lrc",
+    "rs_10_4",
+    "three_replication",
+    "xorbas_lrc",
+    "__version__",
+]

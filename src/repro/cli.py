@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives quick terminal access to the reproduction's main entry points:
+certify the Xorbas code, regenerate Table 1 or the Figure 1 trace, and
+run scaled-down versions of the paper's cluster experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'XORing Elephants: Novel Erasure Codes for "
+            "Big Data' (VLDB 2013)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "certify",
+        help="exhaustively certify the (10,6,5) LRC's distance and locality",
+    )
+
+    sub.add_parser("table1", help="regenerate Table 1 (reliability comparison)")
+
+    fig1 = sub.add_parser("fig1", help="generate the Figure 1 failure trace")
+    fig1.add_argument("--days", type=int, default=31)
+    fig1.add_argument("--seed", type=int, default=21)
+
+    ec2 = sub.add_parser("ec2", help="run a (scaled) EC2 failure experiment")
+    ec2.add_argument("--files", type=int, default=20)
+    ec2.add_argument("--nodes", type=int, default=50)
+    ec2.add_argument("--seed", type=int, default=0)
+
+    facebook = sub.add_parser("facebook", help="run the Table 3 experiment")
+    facebook.add_argument("--files", type=int, default=200)
+    facebook.add_argument("--seed", type=int, default=0)
+
+    workload = sub.add_parser(
+        "workload", help="run the Figure 7 / Table 2 workload experiment"
+    )
+    workload.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "baselines",
+        help="compare code families (replication/RS/Pyramid/LRC/SRC)",
+    )
+
+    geo = sub.add_parser(
+        "geo", help="geo-distributed WAN repair comparison (Section 1.1)"
+    )
+    geo.add_argument("--stripes", type=float, default=1e6)
+
+    archival = sub.add_parser(
+        "archival", help="archival stripe-size sweep (Section 7)"
+    )
+    archival.add_argument(
+        "--stripes", type=int, nargs="+", default=[10, 20, 50, 100]
+    )
+    archival.add_argument("--samples", type=int, default=150)
+    archival.add_argument("--seed", type=int, default=0)
+
+    degraded = sub.add_parser(
+        "degraded", help="degraded-read availability experiment (Section 4)"
+    )
+    degraded.add_argument("--hours", type=float, default=6.0)
+    degraded.add_argument("--seed", type=int, default=3)
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="locality/storage/repair frontier (Sections 1.1-2)"
+    )
+    tradeoff.add_argument(
+        "--certify",
+        action="store_true",
+        help="exhaustively certify each point's distance (slow)",
+    )
+
+    export = sub.add_parser(
+        "export", help="export the analytical artefacts as CSV"
+    )
+    export.add_argument("--out", default="results/csv")
+    export.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "claims", help="check the paper's quantitative claims against the code"
+    )
+    return parser
+
+
+def _cmd_certify() -> int:
+    from .codes import certify_distance, certify_locality, xorbas_lrc
+
+    code = xorbas_lrc()
+    print(f"Certifying {code.name}: n={code.n}, k={code.k} ...")
+    certify_distance(code, 5)
+    print("  minimum distance d = 5 certified over all erasure patterns")
+    certify_locality(code, 5)
+    print("  locality r = 5 certified for all 16 blocks")
+    print("  all light repair plans XOR-only:", all(
+        plan.is_xor_only() for i in range(code.n) for plan in code.repair_plans(i)
+    ))
+    return 0
+
+
+def _cmd_table1() -> int:
+    from .experiments import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_fig1(days: int, seed: int) -> int:
+    from .experiments import render_fig1
+    from .experiments.traces import generate_fig1_trace
+
+    print(render_fig1(generate_fig1_trace(days=days, seed=seed)))
+    return 0
+
+
+def _cmd_ec2(files: int, nodes: int, seed: int) -> int:
+    from .experiments import format_table, run_ec2_experiment
+
+    print(f"Running EC2 experiment: {files} files, {nodes} slaves ...")
+    result = run_ec2_experiment(num_files=files, num_nodes=nodes, seed=seed)
+    rows = []
+    for run in result.runs():
+        for event in run.events:
+            rows.append(
+                (
+                    run.scheme,
+                    event.label,
+                    f"{event.hdfs_bytes_read / 1e9:.1f}",
+                    f"{event.network_out_bytes / 1e9:.1f}",
+                    f"{event.repair_duration / 60:.1f}",
+                )
+            )
+    print(
+        format_table(
+            ["scheme", "event", "read GB", "net GB", "duration min"],
+            rows,
+            title="Per-failure-event metrics (Figure 4)",
+        )
+    )
+    return 0
+
+
+def _cmd_facebook(files: int, seed: int) -> int:
+    from .experiments import format_table, run_facebook_experiment
+
+    print(f"Running Facebook test-cluster experiment with {files} files ...")
+    rows = run_facebook_experiment(num_files=files, seed=seed)
+    print(
+        format_table(
+            ["scheme", "blocks lost", "GB read", "GB/block", "duration min"],
+            [
+                (
+                    r.scheme,
+                    r.blocks_lost,
+                    f"{r.hdfs_gb_read:.1f}",
+                    f"{r.gb_read_per_block:.3f}",
+                    f"{r.repair_minutes:.1f}",
+                )
+                for r in rows
+            ],
+            title="Table 3",
+        )
+    )
+    return 0
+
+
+def _cmd_workload(seed: int) -> int:
+    from .experiments import format_table, run_workload_experiment
+
+    print("Running the Figure 7 workload experiment (three scenarios) ...")
+    results = run_workload_experiment(seed=seed)
+    print(
+        format_table(
+            ["scenario", "avg minutes", "bytes read GB", "degraded reads"],
+            [
+                (
+                    r.scenario,
+                    f"{r.average_minutes:.1f}",
+                    f"{r.total_bytes_read / 1e9:.1f}",
+                    r.degraded_reads,
+                )
+                for r in results.values()
+            ],
+            title="Table 2",
+        )
+    )
+    return 0
+
+
+def _cmd_baselines() -> int:
+    from .experiments.baselines import render_baselines
+
+    print(render_baselines())
+    return 0
+
+
+def _cmd_geo(stripes: float) -> int:
+    from .experiments.geo import render_geo, run_geo_experiment
+
+    print(render_geo(run_geo_experiment(), stripes=stripes))
+    return 0
+
+
+def _cmd_archival(stripe_sizes: list[int], samples: int, seed: int) -> int:
+    from .experiments.archival import render_archival, run_archival_experiment
+
+    rows = run_archival_experiment(
+        stripe_sizes=tuple(stripe_sizes), samples=samples, seed=seed
+    )
+    print(render_archival(rows))
+    return 0
+
+
+def _cmd_degraded(hours: float, seed: int) -> int:
+    from .cluster.degraded import DegradedReadConfig, compare_degraded_reads
+    from .codes import rs_10_4, three_replication, xorbas_lrc
+    from .experiments import format_table
+
+    config = DegradedReadConfig(duration=hours * 3600.0)
+    codes = [three_replication(), rs_10_4(), xorbas_lrc()]
+    print(f"Simulating {hours:.0f}h of reads under transient outages ...")
+    rows = compare_degraded_reads(codes, config=config, seed=seed)
+    print(
+        format_table(
+            ["scheme", "reads", "degraded", "mean degraded s", "availability"],
+            [
+                (
+                    s.scheme,
+                    s.total_reads,
+                    f"{s.degraded_fraction:.2%}",
+                    f"{s.mean_degraded_latency:.1f}",
+                    f"{s.availability:.5f}",
+                )
+                for s in rows
+            ],
+            title="Degraded reads (Section 4 availability discussion)",
+        )
+    )
+    return 0
+
+
+def _cmd_tradeoff(certify: bool) -> int:
+    from .experiments.tradeoff import locality_sweep, render_tradeoff
+
+    print(render_tradeoff(locality_sweep(certify=certify)))
+    if not certify:
+        print("(pass --certify to verify each point's exact distance)")
+    return 0
+
+
+def _cmd_claims() -> int:
+    from .experiments.claims import check_all_claims, render_claims
+
+    results = check_all_claims()
+    print(render_claims(results))
+    return 0 if all(r.holds for r in results) else 1
+
+
+def _cmd_export(out: str, seed: int) -> int:
+    from .experiments.export import export_all
+
+    written = export_all(out, seed=seed)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "certify":
+        return _cmd_certify()
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "fig1":
+        return _cmd_fig1(args.days, args.seed)
+    if args.command == "ec2":
+        return _cmd_ec2(args.files, args.nodes, args.seed)
+    if args.command == "facebook":
+        return _cmd_facebook(args.files, args.seed)
+    if args.command == "workload":
+        return _cmd_workload(args.seed)
+    if args.command == "baselines":
+        return _cmd_baselines()
+    if args.command == "geo":
+        return _cmd_geo(args.stripes)
+    if args.command == "archival":
+        return _cmd_archival(args.stripes, args.samples, args.seed)
+    if args.command == "degraded":
+        return _cmd_degraded(args.hours, args.seed)
+    if args.command == "tradeoff":
+        return _cmd_tradeoff(args.certify)
+    if args.command == "export":
+        return _cmd_export(args.out, args.seed)
+    if args.command == "claims":
+        return _cmd_claims()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

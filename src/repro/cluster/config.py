@@ -1,0 +1,112 @@
+"""Configuration of the simulated Hadoop cluster.
+
+Two presets mirror the paper's test environments: the 51-instance Amazon
+EC2 clusters (Section 5.2) and Facebook's 35-node test cluster
+(Section 5.3).  Bandwidth and rate constants are calibrated so absolute
+repair durations land in the paper's reported ranges; byte counts never
+depend on them (they follow from the codes' read sets alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ClusterConfig", "ec2_config", "facebook_config"]
+
+MB = 1e6
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """All tunables of the simulated cluster in one explicit place."""
+
+    # --- storage ---------------------------------------------------------
+    num_nodes: int = 50
+    block_size: float = 64 * MB
+    payload_bytes: int = 64  # miniature real payload per block for verification
+
+    # --- network (bytes/second) ------------------------------------------
+    # m1.small instances had ~100 Mb/s NICs and the 2012-era EC2 fabric
+    # throttled aggregate cross-instance traffic hard; these values put
+    # single-node-event repair durations in the paper's 15-30 minute range
+    # (Fig 4c) while leaving byte counts untouched.
+    node_bandwidth: float = 12 * MB  # per-NIC, each direction
+    core_bandwidth: float = 60 * MB  # shared top-level switch, each direction
+
+    # --- rack topology -----------------------------------------------------
+    # With num_racks > 1 the cluster is rack-aware: stripes spread across
+    # racks (Section 4: "all coded blocks of a stripe are placed in
+    # different racks"), intra-rack flows bypass the core switch, and
+    # cross-rack flows are additionally limited per rack uplink.  The
+    # paper's reliability analysis caps cross-rack repair bandwidth at
+    # gamma = 1 Gb/s for exactly this reason.
+    num_racks: int = 1
+    rack_bandwidth: float | None = None  # per-rack uplink, each direction
+
+    # --- MapReduce ---------------------------------------------------------
+    map_slots_per_node: int = 2
+    heartbeat_interval: float = 3.0  # task assignment latency
+    task_startup: float = 5.0  # JVM spawn + input split bookkeeping
+    # Job submission -> first task launch on 2012-era Hadoop (JobTracker
+    # queueing, split computation, RaidNode dispatch): the bulk of the
+    # ~8-minute zero-blocks intercept visible in Fig 6(c).
+    job_startup: float = 300.0
+
+    # --- repair pipeline -----------------------------------------------------
+    # Hadoop declares a DataNode dead after 10m30s without heartbeats;
+    # this fixed latency is most of Fig 6(c)'s non-zero intercept.
+    failure_detection_delay: float = 630.0  # DataNode heartbeat expiry
+    blockfixer_interval: float = 60.0  # corrupt-file scan period
+    raidnode_interval: float = 60.0  # raid-candidate scan period
+
+    # --- compute rates (bytes/second of payload processed) -----------------
+    xor_decode_rate: float = 300 * MB  # light decoder: pure XOR
+    rs_decode_rate: float = 120 * MB  # heavy decoder: GF(2^8) solve
+    encode_rate: float = 150 * MB
+    wordcount_rate: float = 2.2 * MB  # m1.small single-slot map throughput
+
+    # --- accounting ----------------------------------------------------------
+    # The paper consistently measured network traffic ~= 2x HDFS bytes read
+    # (Section 5.2.2) without giving a mechanism.  We account block reads
+    # and reconstructed-block writes mechanistically and attribute the
+    # remainder (DFS client relays, job bookkeeping, speculative re-reads)
+    # with this multiplier on read bytes.
+    traffic_overhead_factor: float = 0.9
+    timeseries_bucket: float = 300.0  # Fig 5 uses 5-minute resolution
+    cpu_transfer_share: float = 0.25  # CPU load while streaming (vs computing)
+
+    def validate(self) -> "ClusterConfig":
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.block_size <= 0 or self.payload_bytes <= 0:
+            raise ValueError("block and payload sizes must be positive")
+        if min(self.node_bandwidth, self.core_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.map_slots_per_node < 1:
+            raise ValueError("need at least one map slot per node")
+        if self.num_racks < 1:
+            raise ValueError("need at least one rack")
+        if self.rack_bandwidth is not None and self.rack_bandwidth <= 0:
+            raise ValueError("rack bandwidth must be positive when set")
+        return self
+
+    def scaled(self, **overrides) -> "ClusterConfig":
+        """A copy with the given fields replaced (validated)."""
+        return replace(self, **overrides).validate()
+
+
+def ec2_config(num_nodes: int = 50) -> ClusterConfig:
+    """The paper's EC2 setting: 50 slaves, 64 MB blocks, 640 MB files."""
+    return ClusterConfig(num_nodes=num_nodes, block_size=64 * MB).validate()
+
+
+def facebook_config(num_nodes: int = 35) -> ClusterConfig:
+    """Facebook's test cluster: 35 nodes, 256 MB blocks (Section 5.3)."""
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        block_size=256 * MB,
+        node_bandwidth=120 * MB,
+        core_bandwidth=1.2 * GB,
+        map_slots_per_node=4,
+    ).validate()

@@ -1,0 +1,185 @@
+"""DataNodes and the NameNode: block placement and liveness tracking.
+
+The NameNode keeps the block map (block -> DataNode) and learns about
+node deaths only after a detection delay (heartbeat expiry), which is
+when blocks become *missing* and eligible for the BlockFixer.  The
+default placement policy mirrors Hadoop's: random spread that avoids
+collocating blocks of the same stripe (Section 3.1.1) so that one node
+death loses at most one block per stripe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .blocks import BlockId, Stripe
+
+__all__ = ["DataNode", "NameNode", "PlacementError"]
+
+
+class PlacementError(Exception):
+    """Raised when the placement policy cannot satisfy its constraints."""
+
+
+@dataclass
+class DataNode:
+    """A storage node: holds block replicas, may die, may be decommissioned."""
+
+    node_id: str
+    alive: bool = True
+    decommissioning: bool = False  # readable, but no longer a placement target
+    blocks: set[BlockId] = field(default_factory=set)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+
+class NameNode:
+    """Block map + placement + failure bookkeeping."""
+
+    def __init__(
+        self,
+        node_ids: list[str],
+        rng: np.random.Generator,
+        rack_of: dict[str, int] | None = None,
+    ):
+        if not node_ids:
+            raise ValueError("cluster needs at least one DataNode")
+        self.nodes: dict[str, DataNode] = {
+            node_id: DataNode(node_id) for node_id in node_ids
+        }
+        self.rack_of = rack_of or {}
+        self.rng = rng
+        self.block_locations: dict[BlockId, str] = {}
+        self.stripes: dict[tuple[str, int], Stripe] = {}
+        self.missing_blocks: set[BlockId] = set()
+        self.undetected_dead: set[str] = set()
+
+    # -- topology ---------------------------------------------------------------
+
+    def alive_nodes(self) -> list[DataNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def placement_candidates(self) -> list[DataNode]:
+        """Nodes eligible to receive new blocks (alive, not retiring)."""
+        return [n for n in self.nodes.values() if n.alive and not n.decommissioning]
+
+    def node(self, node_id: str) -> DataNode:
+        return self.nodes[node_id]
+
+    # -- placement ----------------------------------------------------------------
+
+    def register_stripe(self, stripe: Stripe) -> None:
+        self.stripes[(stripe.file_name, stripe.index)] = stripe
+
+    def stripe_of(self, block: BlockId) -> Stripe:
+        return self.stripes[(block.file_name, block.stripe_index)]
+
+    def place_stripe(self, stripe: Stripe) -> None:
+        """Spread a stripe's stored blocks across distinct nodes.
+
+        Falls back to allowing collocation only when the stripe is wider
+        than the cluster (never the case in the paper's setups).
+        """
+        self.register_stripe(stripe)
+        positions = stripe.stored_positions()
+        candidates = self.placement_candidates()
+        if not candidates:
+            raise PlacementError("no alive DataNodes")
+        distinct = len(candidates) >= len(positions)
+        if distinct:
+            chosen = self.rng.choice(
+                len(candidates), size=len(positions), replace=False
+            )
+        else:
+            chosen = self.rng.choice(
+                len(candidates), size=len(positions), replace=True
+            )
+        for position, node_index in zip(positions, chosen):
+            self.add_block(stripe.block_id(position), candidates[node_index].node_id)
+
+    def add_block(self, block: BlockId, node_id: str) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise PlacementError(f"cannot place {block} on dead node {node_id}")
+        node.blocks.add(block)
+        self.block_locations[block] = node_id
+        self.missing_blocks.discard(block)
+
+    def remove_block(self, block: BlockId) -> None:
+        node_id = self.block_locations.pop(block, None)
+        if node_id is not None:
+            self.nodes[node_id].blocks.discard(block)
+
+    # -- liveness ----------------------------------------------------------------
+
+    def locate(self, block: BlockId) -> str | None:
+        """Node currently serving a block, or None if unavailable.
+
+        A block on a dead-but-undetected node is already unavailable to
+        readers even though the NameNode hasn't flagged it missing yet.
+        """
+        node_id = self.block_locations.get(block)
+        if node_id is None:
+            return None
+        if not self.nodes[node_id].alive:
+            return None
+        return node_id
+
+    def is_available(self, block: BlockId) -> bool:
+        return self.locate(block) is not None
+
+    def kill_node(self, node_id: str) -> list[BlockId]:
+        """Mark a node dead (blocks not yet missing until detection)."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            return []
+        node.alive = False
+        self.undetected_dead.add(node_id)
+        return sorted(node.blocks)
+
+    def detect_failures(self, node_id: str) -> list[BlockId]:
+        """Heartbeat expiry: the node's blocks become officially missing."""
+        if node_id not in self.undetected_dead:
+            return []
+        self.undetected_dead.discard(node_id)
+        node = self.nodes[node_id]
+        lost = sorted(node.blocks)
+        for block in lost:
+            self.block_locations.pop(block, None)
+            self.missing_blocks.add(block)
+        node.blocks.clear()
+        return lost
+
+    # -- stripe-level views (used by the BlockFixer) --------------------------------
+
+    def available_positions(self, stripe: Stripe) -> dict[int, str]:
+        """position -> node for every currently readable stored block."""
+        out = {}
+        for position in stripe.stored_positions():
+            node_id = self.locate(stripe.block_id(position))
+            if node_id is not None:
+                out[position] = node_id
+        return out
+
+    def missing_positions(self, stripe: Stripe) -> list[int]:
+        return [
+            position
+            for position in stripe.stored_positions()
+            if stripe.block_id(position) in self.missing_blocks
+        ]
+
+    def fsck(self) -> dict[str, int]:
+        """Cluster health summary: stored, missing, dead-node counts."""
+        return {
+            "stored_blocks": len(self.block_locations),
+            "missing_blocks": len(self.missing_blocks),
+            "dead_nodes": sum(1 for n in self.nodes.values() if not n.alive),
+            "alive_nodes": sum(1 for n in self.nodes.values() if n.alive),
+        }

@@ -1,0 +1,263 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Transfers are fluid flows constrained by three resource classes: the
+sender's NIC, the receiver's NIC, and a shared top-level switch (the
+paper repeatedly notes that "hundreds of machines can share a single
+top-level switch which becomes saturated", Section 5.2.3).  Rates are
+recomputed by progressive water-filling whenever a flow starts, finishes
+or is aborted; between recomputations every flow progresses linearly, so
+completion times are exact.
+
+Every byte a flow moves is attributed to the metrics collector over the
+exact interval it was in flight, which is what makes the Figure 5 time
+series faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .metrics import MetricsCollector
+from .sim import Event, Simulation
+
+__all__ = ["Transfer", "Network"]
+
+
+class Transfer:
+    """One in-flight flow.  Use :meth:`Network.start_transfer` to create."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "last_update",
+        "on_complete",
+        "on_fail",
+        "completion_event",
+        "started_at",
+        "disk_read",
+        "local",
+        "done",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        on_complete: Callable[[], None],
+        on_fail: Callable[[], None] | None,
+        disk_read: bool,
+        started_at: float,
+    ):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.remaining = size
+        self.rate = 0.0
+        self.last_update = started_at
+        self.on_complete = on_complete
+        self.on_fail = on_fail
+        self.completion_event: Event | None = None
+        self.started_at = started_at
+        self.disk_read = disk_read
+        self.local = src == dst
+        self.done = False
+
+
+class Network:
+    """The cluster fabric: per-node NICs plus one shared core switch."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        metrics: MetricsCollector,
+        node_bandwidth: float,
+        core_bandwidth: float,
+        rack_of: dict[str, int] | None = None,
+        rack_bandwidth: float | None = None,
+    ):
+        """``rack_of`` maps node ids to rack indices.  When provided,
+        intra-rack flows bypass the core switch and cross-rack flows are
+        additionally constrained by per-rack uplinks of ``rack_bandwidth``
+        (when set) — the Section 4 cross-rack bandwidth cap."""
+        if node_bandwidth <= 0 or core_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if rack_bandwidth is not None and rack_bandwidth <= 0:
+            raise ValueError("rack bandwidth must be positive when set")
+        self.sim = sim
+        self.metrics = metrics
+        self.node_bandwidth = node_bandwidth
+        self.core_bandwidth = core_bandwidth
+        self.rack_of = rack_of or {}
+        self.rack_bandwidth = rack_bandwidth
+        self.cross_rack_bytes = 0.0
+        self.flows: set[Transfer] = set()
+
+    def _is_cross_rack(self, flow: Transfer) -> bool:
+        if not self.rack_of:
+            return True  # flat topology: every remote flow hits the core
+        return self.rack_of.get(flow.src) != self.rack_of.get(flow.dst)
+
+    def _resources_for(self, flow: Transfer) -> list[tuple]:
+        resources = [("out", flow.src), ("in", flow.dst)]
+        if self._is_cross_rack(flow):
+            resources.append(("core", None))
+            if self.rack_of and self.rack_bandwidth is not None:
+                resources.append(("rackout", self.rack_of.get(flow.src)))
+                resources.append(("rackin", self.rack_of.get(flow.dst)))
+        return resources
+
+    def _capacity_of(self, resource: tuple) -> float:
+        kind = resource[0]
+        if kind == "core":
+            return self.core_bandwidth
+        if kind in ("rackout", "rackin"):
+            assert self.rack_bandwidth is not None
+            return self.rack_bandwidth
+        return self.node_bandwidth
+
+    # -- public API -----------------------------------------------------------
+
+    def start_transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        on_complete: Callable[[], None],
+        on_fail: Callable[[], None] | None = None,
+        disk_read: bool = False,
+    ) -> Transfer:
+        """Begin moving ``nbytes`` from ``src`` to ``dst``.
+
+        ``disk_read=True`` marks the flow as an HDFS block read, counted
+        in the paper's *HDFS Bytes Read* metric.  Local transfers
+        (src == dst) skip the network but still hit the disk.
+        """
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        flow = Transfer(
+            src, dst, nbytes, on_complete, on_fail, disk_read, self.sim.now
+        )
+        if nbytes == 0:
+            self.sim.schedule(0.0, lambda: self._finish(flow))
+            return flow
+        self._settle()
+        self.flows.add(flow)
+        self._reallocate()
+        return flow
+
+    def abort_node(self, node_id: str) -> None:
+        """Kill every flow touching a node (its NIC is gone)."""
+        victims = [f for f in self.flows if node_id in (f.src, f.dst)]
+        if not victims:
+            return
+        self._settle()
+        for flow in victims:
+            self.flows.discard(flow)
+            if flow.completion_event is not None:
+                flow.completion_event.cancel()
+            flow.done = True
+            if flow.on_fail is not None:
+                flow.on_fail()
+        self._reallocate()
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self.flows)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _finish(self, flow: Transfer) -> None:
+        """Complete a zero-byte transfer (no bandwidth involved)."""
+        if flow.done:
+            return
+        flow.done = True
+        flow.on_complete()
+
+    def _settle(self) -> None:
+        """Progress every flow to the current time and attribute bytes."""
+        now = self.sim.now
+        for flow in self.flows:
+            elapsed = now - flow.last_update
+            if elapsed <= 0:
+                flow.last_update = now
+                continue
+            moved = min(flow.remaining, flow.rate * elapsed)
+            flow.remaining -= moved
+            self._attribute(flow, moved, flow.last_update, now)
+            flow.last_update = now
+
+    def _attribute(
+        self, flow: Transfer, moved: float, start: float, end: float
+    ) -> None:
+        if moved <= 0:
+            return
+        if flow.disk_read:
+            self.metrics.record_block_read(flow.src, moved, start, end)
+        if not flow.local:
+            self.metrics.record_network_out(flow.src, moved, start, end)
+            if self.rack_of and self._is_cross_rack(flow):
+                self.cross_rack_bytes += moved
+
+    def _reallocate(self) -> None:
+        """Progressive water-filling over NIC and core constraints."""
+        rates = self._max_min_rates()
+        for flow, rate in rates.items():
+            flow.rate = rate
+            if flow.completion_event is not None:
+                flow.completion_event.cancel()
+            if rate <= 0:
+                raise RuntimeError("flow allocated zero bandwidth")
+            eta = flow.remaining / rate
+            flow.completion_event = self.sim.schedule(
+                eta, lambda f=flow: self._complete(f)
+            )
+
+    def _max_min_rates(self) -> dict[Transfer, float]:
+        network_flows = [f for f in self.flows if not f.local]
+        rates: dict[Transfer, float] = {
+            f: self.node_bandwidth for f in self.flows if f.local
+        }
+        if not network_flows:
+            return rates
+        remaining: dict[tuple, float] = {}
+        members: dict[tuple, set[Transfer]] = {}
+        flow_resources = {flow: self._resources_for(flow) for flow in network_flows}
+        for flow, resources in flow_resources.items():
+            for resource in resources:
+                if resource not in remaining:
+                    remaining[resource] = self._capacity_of(resource)
+                    members[resource] = set()
+                members[resource].add(flow)
+        unfrozen = set(network_flows)
+        while unfrozen:
+            bottleneck = min(
+                (res for res in members if members[res]),
+                key=lambda res: remaining[res] / len(members[res]),
+            )
+            share = remaining[bottleneck] / len(members[bottleneck])
+            for flow in tuple(members[bottleneck]):
+                rates[flow] = share
+                unfrozen.discard(flow)
+                for resource in flow_resources[flow]:
+                    members[resource].discard(flow)
+                    remaining[resource] -= share
+            members[bottleneck] = set()
+        return rates
+
+    def _complete(self, flow: Transfer) -> None:
+        if flow.done:
+            return
+        self._settle()
+        # Flush any residual rounding so totals are exact.
+        if flow.remaining > 0:
+            self._attribute(flow, flow.remaining, flow.last_update, self.sim.now)
+            flow.remaining = 0.0
+        flow.done = True
+        self.flows.discard(flow)
+        if self.flows:
+            self._reallocate()
+        flow.on_complete()

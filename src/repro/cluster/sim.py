@@ -1,0 +1,98 @@
+"""Minimal discrete-event simulation engine.
+
+A single ordered event queue drives every component of the cluster
+simulator (network transfers, MapReduce heartbeats, daemon scan timers,
+failure injections).  Events are plain callbacks; determinism comes from
+the (time, sequence) ordering — ties break in scheduling order, never by
+object identity — so every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulation"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Cancelled events stay queued but inert."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulation:
+    """Event loop with a virtual clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, skipping cancelled ones."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> None:
+        """Drain the queue, optionally stopping the clock at ``until``.
+
+        ``max_events`` guards against runaway feedback loops in component
+        logic — hitting it is always a bug, so it raises.
+        """
+        count = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            if not self.step():
+                break
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a scheduling feedback loop"
+                )
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed

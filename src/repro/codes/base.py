@@ -1,0 +1,220 @@
+"""Abstract interfaces shared by every erasure code in the library.
+
+The vocabulary follows the paper (Section 2): a ``(k, n-k)`` code stripes a
+file into ``k`` data blocks and stores ``n`` coded blocks; *locality* ``r``
+is the number of other blocks needed to rebuild one lost block; the
+*minimum distance* ``d`` is the smallest number of erasures that can make
+the file unrecoverable.
+
+Block payloads are numpy ``uint8``/``uint16`` arrays (one row per block).
+A *stripe* is the unit of encoding; larger files are split into stripes by
+the storage layer (:mod:`repro.cluster`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..galois import GF
+
+__all__ = ["RepairPlan", "CodeParameters", "ErasureCode", "DecodingError"]
+
+
+class DecodingError(Exception):
+    """Raised when the surviving blocks cannot reconstruct the request."""
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """A recipe for rebuilding one lost block.
+
+    Attributes
+    ----------
+    lost:
+        Index of the block being rebuilt.
+    sources:
+        Indices of the blocks that must be read.
+    coefficients:
+        Field coefficients applied to the source blocks, aligned with
+        ``sources``.  For the paper's Xorbas code these are all 1 (pure
+        XOR), which is the point of Section 2.1's ``c_i = 1`` result.
+    kind:
+        ``"local"`` for light-decoder plans (read ``r`` blocks),
+        ``"global"`` for heavy-decoder plans (full linear solve),
+        ``"copy"`` for replication.
+    """
+
+    lost: int
+    sources: tuple[int, ...]
+    coefficients: tuple[int, ...]
+    kind: str = "local"
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != len(self.coefficients):
+            raise ValueError("sources and coefficients must align")
+        if self.lost in self.sources:
+            raise ValueError("a block cannot be a source for its own repair")
+
+    @property
+    def num_reads(self) -> int:
+        """How many blocks this plan downloads."""
+        return len(self.sources)
+
+    def is_xor_only(self) -> bool:
+        """True when the plan needs no field multiplications."""
+        return all(c == 1 for c in self.coefficients)
+
+
+@dataclass(frozen=True)
+class CodeParameters:
+    """Summary parameters of a code, as reported in the paper's Table 1."""
+
+    k: int
+    n: int
+    locality: int
+    minimum_distance: int | None = None
+    name: str = ""
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def rate(self) -> float:
+        """Code rate R = k/n (equation 4 of the paper)."""
+        return self.k / self.n
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage per byte of data, e.g. 0.4 for RS(10,4)."""
+        return (self.n - self.k) / self.k
+
+    @property
+    def parity_blocks(self) -> int:
+        return self.n - self.k
+
+    def __str__(self) -> str:
+        label = self.name or f"({self.k},{self.n - self.k})"
+        return (
+            f"{label}: k={self.k} n={self.n} r={self.locality} "
+            f"d={self.minimum_distance} overhead={self.storage_overhead:.2f}x"
+        )
+
+
+class ErasureCode(ABC):
+    """Common behaviour of replication, Reed-Solomon and LRC codes.
+
+    Subclasses must define :attr:`k`, :attr:`n` and the encode / decode /
+    repair-planning primitives.  The storage simulator talks to codes only
+    through this interface, which is how HDFS-Xorbas swaps LRC in for RS
+    without touching RaidNode/BlockFixer logic (Section 3.1).
+    """
+
+    field: GF
+    k: int
+    n: int
+
+    # -- encoding -----------------------------------------------------------
+
+    @abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data blocks into ``n`` coded blocks.
+
+        ``data`` has shape ``(k, block_len)``; the result has shape
+        ``(n, block_len)``.  For systematic codes the first ``k`` output
+        rows are the data blocks unchanged.
+        """
+
+    @abstractmethod
+    def decode(self, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover the ``k`` data blocks from any decodable subset.
+
+        Raises :class:`DecodingError` when the available blocks do not
+        determine the data (fewer than ``n - d + 1`` survivors in the
+        worst case).
+        """
+
+    # -- repair -------------------------------------------------------------
+
+    @abstractmethod
+    def repair_plans(self, lost: int) -> list[RepairPlan]:
+        """All local (light-decoder) plans for rebuilding block ``lost``.
+
+        May be empty (MDS codes have no non-trivial local plans).  Plans
+        are ordered by preference.
+        """
+
+    def best_repair_plan(
+        self, lost: int, available: Sequence[int] | frozenset[int]
+    ) -> RepairPlan | None:
+        """The cheapest light plan whose sources are all available."""
+        available_set = frozenset(available)
+        feasible = [
+            plan
+            for plan in self.repair_plans(lost)
+            if available_set.issuperset(plan.sources)
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda plan: plan.num_reads)
+
+    def repair(self, lost: int, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Rebuild block ``lost`` from available blocks.
+
+        Tries the light decoder first (XOR of a small repair group) and
+        falls back to the heavy decoder (full linear solve followed by
+        re-encoding) exactly as HDFS-Xorbas does (Section 3.1.2).
+        """
+        plan = self.best_repair_plan(lost, available.keys())
+        if plan is not None:
+            return self.execute_plan(plan, available)
+        data = self.decode(available)
+        return self.encode(data)[lost]
+
+    def execute_plan(
+        self, plan: RepairPlan, available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Apply a repair plan to concrete block payloads."""
+        first = available[plan.sources[0]]
+        out = np.zeros_like(np.asarray(first, dtype=self.field.dtype))
+        for coeff, src in zip(plan.coefficients, plan.sources):
+            self.field.addmul(out, coeff, available[src])
+        return out
+
+    # -- introspection -------------------------------------------------------
+
+    def repair_read_count(self, lost: int, available: Sequence[int]) -> int:
+        """Blocks the repair of ``lost`` would read, given survivors.
+
+        This is the quantity the paper's evaluation measures as *HDFS
+        Bytes Read* (Section 5.1), in units of blocks.
+        """
+        plan = self.best_repair_plan(lost, available)
+        if plan is not None:
+            return plan.num_reads
+        return self.heavy_read_count(available)
+
+    def heavy_read_count(self, available: Sequence[int]) -> int:
+        """Blocks a heavy (full-stripe) decode reads.
+
+        The deployed HDFS-RAID BlockFixer opens streams to *all* surviving
+        blocks of the stripe (Section 3.1.2), so the default counts every
+        survivor.  Subclasses may override for smarter decoders.
+        """
+        return len(tuple(available))
+
+    @property
+    def storage_overhead(self) -> float:
+        return (self.n - self.k) / self.k
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    @abstractmethod
+    def parameters(self) -> CodeParameters:
+        """Static summary of the code's (k, n, r, d)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k}, n={self.n})"

@@ -1,0 +1,124 @@
+"""Information-theoretic bounds from Section 2 and the Appendix.
+
+These are closed-form expressions; the exhaustive certification that
+concrete codes *meet* them lives in :mod:`repro.codes.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "singleton_bound",
+    "locality_distance_bound",
+    "mds_locality_lower_bound",
+    "lrc_distance",
+    "Theorem1Parameters",
+    "theorem1_parameters",
+    "rlnc_field_size_bound",
+    "rlnc_success_probability",
+]
+
+
+def singleton_bound(n: int, k: int) -> int:
+    """Classical Singleton bound d <= n - k + 1 (met by MDS codes)."""
+    if not 0 < k <= n:
+        raise ValueError("require 0 < k <= n")
+    return n - k + 1
+
+
+def locality_distance_bound(n: int, k: int, r: int) -> int:
+    """Theorem 2: d <= n - ceil(k/r) - k + 2 for locality-r codes.
+
+    The bound is universal (linear and non-linear codes) and generalises
+    Gopalan et al.'s linear-code bound.  With r = k it degenerates to the
+    Singleton bound.
+    """
+    if not 0 < k <= n:
+        raise ValueError("require 0 < k <= n")
+    if r < 1:
+        raise ValueError("locality must be >= 1")
+    return n - math.ceil(k / r) - k + 2
+
+
+def mds_locality_lower_bound(k: int) -> int:
+    """Lemma 1: an MDS code cannot have locality smaller than k."""
+    return k
+
+
+def overlapping_groups_distance_bound(n: int, k: int, r: int) -> int:
+    """Theorem 5's refinement of the distance bound when (r+1) does not
+    divide n.
+
+    Theorem 2's bound assumes repair groups can be disjoint (Corollary 2:
+    non-overlapping groups are optimal).  When ``(r+1)`` does not divide
+    ``n`` at least two (r+1)-groups must overlap, their union of r+2 or
+    more blocks carries entropy < 2r M/k, and the largest
+    non-reconstructing set grows by one — costing one unit of distance.
+    For the Xorbas parameters (n=16, k=10, r=5) this yields d <= 5, which
+    the explicit construction achieves, hence "optimal distance for the
+    given locality" (Theorem 5).
+    """
+    base = locality_distance_bound(n, k, r)
+    if n % (r + 1) == 0:
+        return base
+    return base - 1
+
+
+def lrc_distance(n: int, k: int, r: int) -> int:
+    """The distance an optimal (k, n-k, r) LRC achieves (Theorem 4)."""
+    return locality_distance_bound(n, k, r)
+
+
+@dataclass(frozen=True)
+class Theorem1Parameters:
+    """The (k, n-k, r) family of Theorem 1 with logarithmic locality."""
+
+    k: int
+    n: int
+    r: int
+    delta_k: float
+    distance: int
+    mds_distance: int
+
+    @property
+    def distance_ratio(self) -> float:
+        """d_LRC / d_MDS — tends to 1 as k grows (Corollary 1)."""
+        return self.distance / self.mds_distance
+
+
+def theorem1_parameters(k: int, rate: float = 10 / 14) -> Theorem1Parameters:
+    """Instantiate Theorem 1: r = log2(k), d_LRC = n - (1 + delta_k) k + 1.
+
+    ``delta_k = 1/log(k) - 1/k`` accounts for the storage of the local
+    parities.  ``n`` is chosen so the *precode* rate matches ``rate``:
+    n = k / rate global blocks plus k / r local parities.
+    """
+    if k < 2:
+        raise ValueError("Theorem 1 requires k >= 2")
+    r = max(1, round(math.log2(k)))
+    precode_n = round(k / rate)
+    local_parities = math.ceil(k / r)
+    n = precode_n + local_parities
+    delta_k = 1.0 / r - 1.0 / k
+    distance = locality_distance_bound(n, k, r)
+    # Corollary 1 compares against an MDS code of the same length n: the
+    # LRC "wastes" its ceil(k/r) local parities, whose relative weight
+    # (delta_k) vanishes as k grows.
+    mds_distance = singleton_bound(n, k)
+    return Theorem1Parameters(
+        k=k, n=n, r=r, delta_k=delta_k, distance=distance, mds_distance=mds_distance
+    )
+
+
+def rlnc_field_size_bound(n: int, k: int, r: int) -> int:
+    """Theorem 4 field-size requirement: q > C(n, k + ceil(k/r) - 1)."""
+    return math.comb(n, k + math.ceil(k / r) - 1)
+
+
+def rlnc_success_probability(q: int, num_sinks: int, num_coding_links: int) -> float:
+    """Lemma 3: RLNC succeeds w.p. at least (1 - T/q)^eta."""
+    if q <= num_sinks:
+        return 0.0
+    return (1.0 - num_sinks / q) ** num_coding_links

@@ -1,0 +1,218 @@
+"""Deterministic LRC construction and parity-alignment coefficient search.
+
+The paper's Appendix gives two routes to valid LRC coefficients:
+
+* a *randomized* algorithm (RLNC over the locality-aware flow graph,
+  Theorem 4) — implemented in :mod:`repro.codes.rlnc`;
+* a *deterministic* algorithm, "exponential in the code parameters
+  (n, k) and therefore useful only for small code constructions"
+  (Section 2.1) — implemented here as a lexicographic search over
+  Vandermonde-style generator columns with forced (r+1)-group locality.
+
+The module also implements the coefficient machinery behind the paper's
+alignment condition ``S1 + S2 + S3 = 0`` (Section 2.1): given a precode,
+find *non-zero* coefficients c_i under which the local parities align so
+one of them can be left implied.  For Reed-Solomon precodes the paper
+proves ``c_i = 1`` always works (the all-ones vector lies in the
+parity-check rowspace); :func:`find_alignment_coefficients` verifies
+this instantly and falls back to a null-space search for precodes
+without that structure.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import numpy as np
+
+from ..galois import GF, GF256, gf_null_space, gf_rank, gf_vandermonde
+from .bounds import lrc_distance
+from .lrc import LocalGroup, LocallyRepairableCode
+
+__all__ = [
+    "deterministic_lrc",
+    "find_alignment_coefficients",
+    "nonzero_nullspace_vector",
+    "xor_alignment_holds",
+]
+
+
+def _candidate_columns(field: GF, k: int) -> np.ndarray:
+    """The deterministic column pool: Vandermonde columns at alpha^j.
+
+    Column j is ``(1, alpha^j, alpha^{2j}, ..., alpha^{(k-1)j})``; any k
+    of them are linearly independent (distinct evaluation points), which
+    is what lets the lexicographic search terminate quickly.
+    """
+    points = [field.exp(j) for j in range(field.order - 1)]
+    return gf_vandermonde(field, k, points).astype(field.dtype)
+
+
+def deterministic_lrc(
+    k: int,
+    n: int,
+    r: int,
+    field: GF | None = None,
+    max_candidates: int | None = None,
+) -> LocallyRepairableCode:
+    """Deterministically construct an optimal (k, n-k, r) LRC.
+
+    Requires ``(r + 1) | n`` (non-overlapping groups, as in Theorem 4).
+    The generator is assembled group by group: the first r columns of
+    each group are drawn from the deterministic Vandermonde pool in
+    lexicographic order of pool indices, the last column is their XOR
+    (the locality constraint).  Candidate assignments are enumerated
+    until the sampled code is full-rank and achieves the Theorem 2
+    distance ``d = n - ceil(k/r) - k + 2``.
+
+    The search space is exponential in (n, k) — the Appendix's warning —
+    so ``max_candidates`` (default: enough for stripe-sized codes)
+    bounds the pool to keep enumeration finite in practice.
+
+    Raises RuntimeError when no assignment within the candidate budget
+    achieves the bound (the field is too small for the parameters).
+    """
+    if field is None:
+        field = GF256
+    if n % (r + 1) != 0:
+        raise ValueError("deterministic construction requires (r+1) | n")
+    if not 1 <= k < n:
+        raise ValueError("need 1 <= k < n")
+    target_distance = lrc_distance(n, k, r)
+    if target_distance < 2:
+        raise ValueError(
+            f"parameters (k={k}, n={n}, r={r}) admit no redundancy: "
+            f"bound gives d = {target_distance}"
+        )
+    pool = _candidate_columns(field, k)
+    num_free = n - n // (r + 1)
+    if max_candidates is None:
+        # A pool modestly larger than the demand keeps the first few
+        # lexicographic assignments near-generic while bounding the
+        # enumeration; widen for stubborn parameter sets.
+        max_candidates = min(pool.shape[1], num_free + 4)
+    pool = pool[:, :max_candidates]
+    if pool.shape[1] < num_free:
+        raise ValueError(
+            f"candidate pool ({pool.shape[1]}) smaller than the {num_free} "
+            f"free columns; enlarge the field or max_candidates"
+        )
+    groups = [
+        LocalGroup(members=tuple(range(start, start + r + 1)))
+        for start in range(0, n, r + 1)
+    ]
+    for selection in combinations(range(pool.shape[1]), num_free):
+        generator = _assemble(field, pool, selection, k, n, r)
+        if gf_rank(field, generator) != k:
+            continue
+        code = LocallyRepairableCode(
+            field, generator, groups, name=f"DetLRC({k},{n - k},{r})"
+        )
+        if code.minimum_distance() == target_distance:
+            return code
+    raise RuntimeError(
+        f"no optimal (k={k}, n={n}, r={r}) LRC in the deterministic pool of "
+        f"{pool.shape[1]} columns over GF(2^{field.m}); enlarge "
+        f"max_candidates or the field"
+    )
+
+
+def _assemble(
+    field: GF,
+    pool: np.ndarray,
+    selection: tuple[int, ...],
+    k: int,
+    n: int,
+    r: int,
+) -> np.ndarray:
+    """Lay the selected pool columns into the grouped generator."""
+    generator = np.zeros((k, n), dtype=field.dtype)
+    free_iter = iter(selection)
+    for start in range(0, n, r + 1):
+        acc = np.zeros(k, dtype=field.dtype)
+        for j in range(start, start + r):
+            column = pool[:, next(free_iter)]
+            generator[:, j] = column
+            np.bitwise_xor(acc, column, out=acc)
+        generator[:, start + r] = acc
+    return generator
+
+
+def xor_alignment_holds(field: GF, generator: np.ndarray) -> bool:
+    """Whether all generator columns XOR to zero (``c_i = 1`` alignment).
+
+    For a Reed-Solomon generator this is Appendix D's observation that
+    the all-ones vector is a parity-check row, hence orthogonal to every
+    codeword: ``sum_j g_j = 0``.  When it holds, the paper's implied
+    parity S3 = S1 + S2 is achievable with pure XOR coefficients.
+    """
+    total = np.zeros(generator.shape[0], dtype=field.dtype)
+    for j in range(generator.shape[1]):
+        np.bitwise_xor(total, generator[:, j], out=total)
+    return not np.any(total)
+
+
+def nonzero_nullspace_vector(
+    field: GF,
+    matrix: np.ndarray,
+    max_combinations: int = 4096,
+) -> np.ndarray | None:
+    """A null-space vector of ``matrix`` with every entry non-zero.
+
+    This is the algebraic core of the alignment condition: coefficients
+    c with ``G c = 0`` and ``c_i != 0`` for all i make every column
+    repairable within the aligned group (a zero coefficient would drop
+    that block from the parity, breaking its locality — the requirement
+    the paper enforces below equation (1)).
+
+    Scans deterministic small combinations of null-space basis vectors
+    (single vectors, then scaled pairs, then scaled triples); returns
+    None when the search budget is exhausted or the null space is
+    trivial.
+    """
+    basis = gf_null_space(field, np.asarray(matrix, dtype=field.dtype))
+    if basis.shape[0] == 0:
+        return None
+    for row in basis:
+        if np.all(row != 0):
+            return row.copy()
+    # Pairs a*u + v, then a*u + b*v + w, over deterministic scalar scans.
+    budget = max_combinations
+    vectors = list(basis)
+    for u, v in permutations(vectors, 2):
+        for a in range(1, field.order):
+            candidate = np.bitwise_xor(field.scale(a, u), v)
+            if np.all(candidate != 0):
+                return candidate
+            budget -= 1
+            if budget <= 0:
+                return None
+    for u, v, w in permutations(vectors, 3):
+        for a in range(1, field.order):
+            for b in range(1, field.order):
+                candidate = np.bitwise_xor(
+                    np.bitwise_xor(field.scale(a, u), field.scale(b, v)), w
+                )
+                if np.all(candidate != 0):
+                    return candidate
+                budget -= 1
+                if budget <= 0:
+                    return None
+    return None
+
+
+def find_alignment_coefficients(
+    field: GF, generator: np.ndarray
+) -> np.ndarray | None:
+    """Non-zero per-column coefficients c with ``sum_j c_j g_j = 0``.
+
+    Fast path: when :func:`xor_alignment_holds`, the all-ones vector is
+    returned immediately — the paper's ``c_i = 1 for all i`` result for
+    Reed-Solomon precodes.  Otherwise a null-space search runs; None
+    means alignment is impossible (or out of search budget) and the LRC
+    must store its parity-group local parity explicitly.
+    """
+    generator = np.asarray(generator, dtype=field.dtype)
+    if xor_alignment_holds(field, generator):
+        return np.ones(generator.shape[1], dtype=field.dtype)
+    return nonzero_nullspace_vector(field, generator)

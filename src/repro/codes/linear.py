@@ -1,0 +1,193 @@
+"""Generic linear block codes defined by a generator matrix over GF(2^m).
+
+Everything Reed-Solomon and LRC share lives here: encoding as a
+matrix-vector product, erasure decoding by inverting a full-rank column
+subset, systematisation, and exact computation of minimum distance and
+locality by exhaustive enumeration (feasible for the stripe-sized codes
+the paper deploys, n <= ~20).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..galois import GF, gf_inv, gf_matmul, gf_rank, gf_rref
+from .base import CodeParameters, DecodingError, ErasureCode, RepairPlan
+
+__all__ = ["LinearCode", "systematize"]
+
+
+def systematize(field: GF, generator: np.ndarray) -> np.ndarray:
+    """Return an equivalent generator whose first k columns are identity.
+
+    Applies the row transformation ``A = G[:, :k]^-1`` described in the
+    paper's Appendix D: ``A @ G = [I_k | A @ G[:, k:]]``.  Row operations
+    preserve the code (same row space), hence distance and locality.
+    """
+    k = generator.shape[0]
+    prefix = generator[:, :k]
+    transform = gf_inv(field, prefix)  # raises if the prefix is singular
+    return gf_matmul(field, transform, generator)
+
+
+class LinearCode(ErasureCode):
+    """A (k, n-k) linear code given by its k x n generator matrix."""
+
+    def __init__(self, field: GF, generator: np.ndarray, name: str = ""):
+        generator = np.asarray(generator, dtype=field.dtype)
+        if generator.ndim != 2:
+            raise ValueError("generator must be a 2-D matrix")
+        k, n = generator.shape
+        if k == 0 or n < k:
+            raise ValueError(f"invalid generator shape {generator.shape}")
+        if gf_rank(field, generator) != k:
+            raise ValueError("generator matrix must have full row rank")
+        self.field = field
+        self.k = k
+        self.n = n
+        self.generator = generator
+        self.name = name or f"Linear({k},{n - k})"
+        self._distance_cache: int | None = None
+
+    # -- encoding / decoding --------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode data blocks: coded[j] = sum_i G[i, j] * data[i]."""
+        data = np.atleast_2d(np.asarray(data, dtype=self.field.dtype))
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
+        return gf_matmul(self.field, self.generator.T, data)
+
+    def decode(self, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Heavy decode: solve the linear system over a full-rank subset."""
+        indices = sorted(available)
+        if len(indices) < self.k:
+            raise DecodingError(
+                f"{len(indices)} blocks available, at least {self.k} required"
+            )
+        chosen = self._independent_columns(indices)
+        if chosen is None:
+            raise DecodingError(
+                "available blocks do not span the data space "
+                f"(indices={indices})"
+            )
+        submatrix = self.generator[:, chosen]  # k x k, invertible
+        stacked = np.stack(
+            [np.asarray(available[i], dtype=self.field.dtype) for i in chosen]
+        )
+        # Y_S = G_S^T X  =>  X = (G_S^T)^-1 Y_S
+        return gf_matmul(self.field, gf_inv(self.field, submatrix.T), stacked)
+
+    def _independent_columns(self, indices: Sequence[int]) -> list[int] | None:
+        """Greedily pick k linearly independent generator columns."""
+        chosen: list[int] = []
+        rank = 0
+        for idx in indices:
+            candidate = chosen + [idx]
+            new_rank = gf_rank(self.field, self.generator[:, candidate])
+            if new_rank > rank:
+                chosen.append(idx)
+                rank = new_rank
+                if rank == self.k:
+                    return chosen
+        return None
+
+    def is_decodable(self, indices: Iterable[int]) -> bool:
+        """Whether a set of surviving block indices determines the file."""
+        cols = sorted(set(indices))
+        if len(cols) < self.k:
+            return False
+        return gf_rank(self.field, self.generator[:, cols]) == self.k
+
+    # -- repair ---------------------------------------------------------------
+
+    def repair_plans(self, lost: int) -> list[RepairPlan]:
+        """Base linear codes advertise no light plans; see subclasses."""
+        if not 0 <= lost < self.n:
+            raise ValueError(f"block index {lost} out of range [0, {self.n})")
+        return []
+
+    # -- exact structural analysis --------------------------------------------
+
+    def minimum_distance(self) -> int:
+        """Exact minimum distance by erasure-pattern enumeration.
+
+        d is the smallest e such that erasing some e blocks leaves a
+        non-decodable survivor set (Definition 1).  Exponential in the
+        worst case; intended for stripe-sized codes.
+        """
+        if self._distance_cache is None:
+            self._distance_cache = self._compute_distance()
+        return self._distance_cache
+
+    def _compute_distance(self) -> int:
+        all_indices = set(range(self.n))
+        for erasures in range(1, self.n - self.k + 2):
+            for erased in combinations(range(self.n), erasures):
+                if not self.is_decodable(all_indices - set(erased)):
+                    return erasures
+        return self.n - self.k + 1  # MDS: unreachable fallthrough guard
+
+    def block_locality(self, index: int, max_r: int | None = None) -> int:
+        """Exact locality of one block: the smallest r such that its
+        generator column lies in the span of r other columns
+        (Definition 2).  Searches subsets of increasing size.
+        """
+        if max_r is None:
+            max_r = self.k
+        column = self.generator[:, index]
+        others = [j for j in range(self.n) if j != index]
+        for r in range(1, max_r + 1):
+            for subset in combinations(others, r):
+                if self._in_span(column, subset):
+                    return r
+        return max_r + 1  # locality exceeds the search bound
+
+    def _in_span(self, column: np.ndarray, subset: Sequence[int]) -> bool:
+        basis = self.generator[:, list(subset)]
+        rank_without = gf_rank(self.field, basis)
+        augmented = np.concatenate([basis, column.reshape(-1, 1)], axis=1)
+        return gf_rank(self.field, augmented) == rank_without
+
+    def solve_repair_coefficients(
+        self, lost: int, sources: Sequence[int]
+    ) -> tuple[int, ...] | None:
+        """Express column ``lost`` as a combination of ``sources``.
+
+        Returns the coefficient tuple, or None if ``lost`` is not in the
+        span.  Used to turn a discovered repair group into an executable
+        :class:`RepairPlan`.
+        """
+        basis = self.generator[:, list(sources)]
+        target = self.generator[:, lost].reshape(-1, 1)
+        augmented = np.concatenate([basis, target], axis=1)
+        reduced, pivots = gf_rref(self.field, augmented)
+        if len(sources) in pivots:
+            return None  # the target column introduced a new pivot: not in span
+        coeffs = [0] * len(sources)
+        for row, pivot in enumerate(pivots):
+            coeffs[pivot] = int(reduced[row, -1])
+        return tuple(coeffs)
+
+    # -- metadata ---------------------------------------------------------------
+
+    def parameters(self) -> CodeParameters:
+        plans = [self.repair_plans(i) for i in range(self.n)]
+        if all(plans):
+            locality = max(min(p.num_reads for p in per_block) for per_block in plans)
+        else:
+            locality = self.k  # MDS-style worst case (Lemma 1)
+        return CodeParameters(
+            k=self.k,
+            n=self.n,
+            locality=locality,
+            minimum_distance=self._distance_cache,
+            name=self.name,
+        )
+
+    def is_systematic(self) -> bool:
+        identity = np.eye(self.k, dtype=self.field.dtype)
+        return np.array_equal(self.generator[:, : self.k], identity)

@@ -1,0 +1,73 @@
+"""n-way replication expressed as a (trivial) erasure code.
+
+Replication is the baseline the paper's Table 1 compares against: storage
+overhead (n-1)x, repair traffic 1x (copy one replica), distance n (all
+replicas must die to lose data), locality 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..galois import GF, GF256
+from .base import CodeParameters, DecodingError, ErasureCode, RepairPlan
+
+__all__ = ["ReplicationCode", "three_replication"]
+
+
+class ReplicationCode(ErasureCode):
+    """k=1 code storing ``replicas`` identical copies of each block."""
+
+    def __init__(self, replicas: int = 3, field: GF | None = None):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.field = field if field is not None else GF256
+        self.k = 1
+        self.n = replicas
+        self.name = f"{replicas}-replication"
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = np.atleast_2d(np.asarray(data, dtype=self.field.dtype))
+        if data.shape[0] != 1:
+            raise ValueError("replication stripes carry exactly one data block")
+        return np.repeat(data, self.n, axis=0)
+
+    def decode(self, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        for index in sorted(available):
+            return np.atleast_2d(np.asarray(available[index], dtype=self.field.dtype))
+        raise DecodingError("no replicas available")
+
+    def repair_plans(self, lost: int) -> list[RepairPlan]:
+        if not 0 <= lost < self.n:
+            raise ValueError(f"replica index {lost} out of range")
+        return [
+            RepairPlan(lost=lost, sources=(src,), coefficients=(1,), kind="copy")
+            for src in range(self.n)
+            if src != lost
+        ]
+
+    def heavy_read_count(self, available) -> int:
+        return 1  # copying any single surviving replica suffices
+
+    def is_decodable(self, indices) -> bool:
+        """Any surviving replica recovers the block."""
+        return any(0 <= int(i) < self.n for i in set(indices))
+
+    def minimum_distance(self) -> int:
+        return self.n
+
+    def parameters(self) -> CodeParameters:
+        return CodeParameters(
+            k=1,
+            n=self.n,
+            locality=1,
+            minimum_distance=self.n,
+            name=self.name,
+        )
+
+
+def three_replication() -> ReplicationCode:
+    """Hadoop's default triple replication (200% storage overhead)."""
+    return ReplicationCode(3)

@@ -1,0 +1,90 @@
+"""Randomised LRC construction (Theorem 4 / Appendix C).
+
+The achievability proof uses random linear network coding over the
+locality-aware information flow graph: pick non-overlapping (r+1)-groups,
+draw the non-parity generator columns uniformly at random, force one
+column per group to be the XOR of the others (the locality constraint),
+and retry until the sampled code hits the optimal distance
+``d = n - ceil(k/r) - k + 2``.  Over a large enough field (Lemma 3) a few
+attempts suffice with high probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..galois import GF, GF256, gf_rank
+from .bounds import lrc_distance, rlnc_field_size_bound, rlnc_success_probability
+from .lrc import LocalGroup, LocallyRepairableCode
+
+__all__ = ["random_lrc", "sample_lrc_generator"]
+
+
+def sample_lrc_generator(
+    field: GF, k: int, n: int, r: int, rng: np.random.Generator
+) -> tuple[np.ndarray, list[LocalGroup]]:
+    """Draw one random generator with forced (r+1)-group XOR structure.
+
+    Requires ``(r + 1) | n`` as in Theorem 4 (non-overlapping groups).
+    Returns the k x n generator and the group list; full rank of the
+    generator is *not* guaranteed for a single draw.
+    """
+    if n % (r + 1) != 0:
+        raise ValueError("Theorem 4 construction requires (r+1) | n")
+    if k >= n:
+        raise ValueError("need n > k for redundancy")
+    generator = np.zeros((k, n), dtype=field.dtype)
+    groups = []
+    for start in range(0, n, r + 1):
+        members = tuple(range(start, start + r + 1))
+        for j in members[:-1]:
+            generator[:, j] = field.random_elements(rng, k)
+        # Force locality: last member = XOR of the rest of the group.
+        acc = np.zeros(k, dtype=field.dtype)
+        for j in members[:-1]:
+            np.bitwise_xor(acc, generator[:, j], out=acc)
+        generator[:, members[-1]] = acc
+        groups.append(LocalGroup(members=members))
+    return generator, groups
+
+
+def random_lrc(
+    k: int,
+    n: int,
+    r: int,
+    field: GF | None = None,
+    rng: np.random.Generator | None = None,
+    max_attempts: int = 64,
+) -> LocallyRepairableCode:
+    """Sample a (k, n-k, r) LRC achieving the Theorem 2 distance bound.
+
+    Raises RuntimeError after ``max_attempts`` failed draws, which (per
+    Lemma 3) signals the field is too small for the target parameters —
+    the error message reports the Theorem 4 field-size requirement.
+    """
+    if field is None:
+        field = GF256
+    if rng is None:
+        rng = np.random.default_rng(0)
+    target_distance = lrc_distance(n, k, r)
+    if target_distance < 2:
+        raise ValueError(
+            f"parameters (k={k}, n={n}, r={r}) admit no redundancy: "
+            f"bound gives d = {target_distance}"
+        )
+    for _ in range(max_attempts):
+        generator, groups = sample_lrc_generator(field, k, n, r, rng)
+        if gf_rank(field, generator) != k:
+            continue
+        code = LocallyRepairableCode(
+            field, generator, groups, name=f"RLNC-LRC({k},{n - k},{r})"
+        )
+        if code.minimum_distance() == target_distance:
+            return code
+    required_q = rlnc_field_size_bound(n, k, r)
+    raise RuntimeError(
+        f"no optimal (k={k}, n={n}, r={r}) LRC found in {max_attempts} draws "
+        f"over GF(2^{field.m}); Theorem 4 needs q > {required_q} "
+        f"(success prob per draw >= "
+        f"{rlnc_success_probability(field.order, required_q, n):.3g})"
+    )

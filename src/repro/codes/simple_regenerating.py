@@ -1,0 +1,239 @@
+"""Simple Regenerating Codes (SRC) — the repair-bandwidth baseline.
+
+Simple regenerating codes (Papailiopoulos, Luo, Dimakis, Huang & Li; the
+paper's reference [24]) attack the repair problem from the other side of
+the design space: instead of adding *local parities* to an MDS code,
+they stripe the file into ``f = 2`` halves, MDS-encode each half
+separately, and store on node i a rotated triple
+
+    ``(x_i,  y_{i+1 mod n},  s_{i+2 mod n})``    with  ``s_j = x_j XOR y_j``
+
+where x and y are the codeword symbols of the two MDS halves.  Every
+symbol of a failed node can then be rebuilt from exactly two sub-symbols
+elsewhere (``x_j = s_j XOR y_j`` etc.), so a node repair downloads six
+sub-symbols — three block-equivalents — from four helper nodes, versus
+k blocks for a plain MDS code.
+
+The cost is storage: three sub-symbols per node for two sub-symbols of
+MDS payload, a 1.5x multiplier on the MDS overhead.  For the paper's
+operating point (k = 10, n = 14) SRC stores 2.1x ... i.e. 1.1x overhead
+versus 0.6x for LRC(10,6,5), which is why the paper's Section 6 rules
+this family out for warm data and the benchmarks here show it as the
+bandwidth-optimal / storage-hungry corner of the tradeoff.
+
+This is a *vector* code — each node stores several sub-symbols — so it
+does not implement the scalar :class:`~repro.codes.base.ErasureCode`
+interface; its node-level metrics are exposed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..galois import GF
+from .base import DecodingError
+from .reed_solomon import ReedSolomonCode
+
+__all__ = ["SubSymbolRead", "SimpleRegeneratingCode"]
+
+#: Sub-symbol kinds stored on each node, in storage order.
+_KINDS = ("x", "y", "s")
+
+
+@dataclass(frozen=True)
+class SubSymbolRead:
+    """One helper read during a node repair: (helper node, kind, index)."""
+
+    node: int
+    kind: str
+    index: int
+
+
+class SimpleRegeneratingCode:
+    """SRC(n, k, f=2) over two systematic RS(k, n-k) halves.
+
+    Parameters use the classical convention: ``n`` storage nodes, any
+    ``k`` of which must recover the file.  The file is ``2k`` sub-blocks
+    (two MDS stripes of k each); each node stores 3 sub-blocks.
+    """
+
+    def __init__(self, n: int, k: int, field: GF | None = None):
+        if not 1 <= k < n:
+            raise ValueError("need 1 <= k < n")
+        if n < 3:
+            raise ValueError("the rotation needs at least 3 nodes")
+        self.n = n
+        self.k = k
+        self.precode = ReedSolomonCode(k, n - k, field=field)
+        self.field = self.precode.field
+        self.name = f"SRC({n},{k},2)"
+
+    # -- parameters ---------------------------------------------------------
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored sub-symbols per data sub-symbol, minus one.
+
+        3n sub-symbols stored for 2k of data: overhead = 3n/(2k) - 1.
+        """
+        return 3 * self.n / (2 * self.k) - 1
+
+    @property
+    def node_distance(self) -> int:
+        """Node erasures needed to lose data.
+
+        Any k surviving nodes hold k *distinct* x sub-symbols and k
+        distinct y sub-symbols (the rotation guarantees distinctness),
+        and each half is MDS — so d = n - k + 1 over nodes.
+        """
+        return self.n - self.k + 1
+
+    @property
+    def repair_subsymbols(self) -> int:
+        """Sub-symbols downloaded per single-node repair (always 6)."""
+        return 6
+
+    @property
+    def repair_block_equivalent(self) -> float:
+        """Repair download in units of whole blocks (block = 2 sub-symbols).
+
+        Six sub-symbols = 3 block-equivalents, versus k block reads for
+        the plain MDS code and r for the LRC.
+        """
+        return self.repair_subsymbols / 2.0
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Encode ``2k`` data sub-blocks into per-node triples.
+
+        ``data`` has shape ``(2k, width)``; rows [0, k) are the first MDS
+        stripe, rows [k, 2k) the second.  Returns a list of n
+        ``(x_i, y_{i+1}, s_{i+2})`` triples, one per node.
+        """
+        data = np.atleast_2d(np.asarray(data, dtype=self.field.dtype))
+        if data.shape[0] != 2 * self.k:
+            raise ValueError(f"expected {2 * self.k} sub-blocks, got {data.shape[0]}")
+        x = self.precode.encode(data[: self.k])
+        y = self.precode.encode(data[self.k :])
+        s = np.bitwise_xor(x, y)
+        return [
+            (x[i], y[(i + 1) % self.n], s[(i + 2) % self.n]) for i in range(self.n)
+        ]
+
+    def node_payload_bytes(self, block_size: float) -> float:
+        """Bytes stored per node when a data block is ``block_size``.
+
+        Sub-symbols are half blocks, and each node stores three of them.
+        """
+        return 3 * block_size / 2
+
+    # -- repair -------------------------------------------------------------
+
+    def repair_reads(self, lost: int) -> list[SubSymbolRead]:
+        """The exact helper reads to rebuild node ``lost``.
+
+        * ``x_lost = s_lost XOR y_lost`` — s_lost lives on node lost-2,
+          y_lost on node lost-1.
+        * ``y_{lost+1} = s_{lost+1} XOR x_{lost+1}`` — s on node lost-1,
+          x on node lost+1.
+        * ``s_{lost+2} = x_{lost+2} XOR y_{lost+2}`` — x on node lost+2,
+          y on node lost+1.
+
+        Six sub-symbol reads from the four ring neighbours.
+        """
+        if not 0 <= lost < self.n:
+            raise ValueError(f"node {lost} out of range [0, {self.n})")
+        n = self.n
+        return [
+            SubSymbolRead(node=(lost - 2) % n, kind="s", index=lost),
+            SubSymbolRead(node=(lost - 1) % n, kind="y", index=lost),
+            SubSymbolRead(node=(lost - 1) % n, kind="s", index=(lost + 1) % n),
+            SubSymbolRead(node=(lost + 1) % n, kind="x", index=(lost + 1) % n),
+            SubSymbolRead(node=(lost + 2) % n, kind="x", index=(lost + 2) % n),
+            SubSymbolRead(node=(lost + 1) % n, kind="y", index=(lost + 2) % n),
+        ]
+
+    def helper_nodes(self, lost: int) -> tuple[int, ...]:
+        """The distinct helper nodes touched by a single-node repair."""
+        return tuple(sorted({read.node for read in self.repair_reads(lost)}))
+
+    def repair_node(
+        self, lost: int, storage: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rebuild node ``lost``'s triple from the other nodes' storage.
+
+        ``storage`` is the full per-node list as returned by
+        :meth:`encode` (the lost entry is ignored).  Only the six
+        sub-symbols named by :meth:`repair_reads` are touched.
+        """
+        reads = {
+            (r.kind, r.index): self._read_subsymbol(storage, r)
+            for r in self.repair_reads(lost)
+        }
+        n = self.n
+        x_lost = np.bitwise_xor(reads[("s", lost)], reads[("y", lost)])
+        y_next = np.bitwise_xor(
+            reads[("s", (lost + 1) % n)], reads[("x", (lost + 1) % n)]
+        )
+        s_next2 = np.bitwise_xor(
+            reads[("x", (lost + 2) % n)], reads[("y", (lost + 2) % n)]
+        )
+        return (x_lost, y_next, s_next2)
+
+    def _read_subsymbol(
+        self,
+        storage: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        read: SubSymbolRead,
+    ) -> np.ndarray:
+        triple = storage[read.node]
+        slot = _KINDS.index(read.kind)
+        return np.asarray(triple[slot], dtype=self.field.dtype)
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(
+        self,
+        surviving: Mapping[int, tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Recover the 2k data sub-blocks from surviving node triples.
+
+        Gathers the x and y sub-symbols the survivors hold (resolving s
+        sub-symbols against known partners first) and MDS-decodes each
+        half.  Raises :class:`DecodingError` if either half ends up with
+        fewer than k known symbols.
+        """
+        known_x: dict[int, np.ndarray] = {}
+        known_y: dict[int, np.ndarray] = {}
+        pending_s: dict[int, np.ndarray] = {}
+        for node, triple in surviving.items():
+            if not 0 <= node < self.n:
+                raise ValueError(f"node {node} out of range")
+            x_i, y_i, s_i = (
+                np.asarray(part, dtype=self.field.dtype) for part in triple
+            )
+            known_x[node] = x_i
+            known_y[(node + 1) % self.n] = y_i
+            pending_s[(node + 2) % self.n] = s_i
+        # Peel: each s_j resolves a missing x_j or y_j when its partner is
+        # known.  One pass suffices because resolving never creates new s.
+        for j, s_j in pending_s.items():
+            if j in known_x and j not in known_y:
+                known_y[j] = np.bitwise_xor(s_j, known_x[j])
+            elif j in known_y and j not in known_x:
+                known_x[j] = np.bitwise_xor(s_j, known_y[j])
+        halves = []
+        for label, known in (("x", known_x), ("y", known_y)):
+            if len(known) < self.k:
+                raise DecodingError(
+                    f"only {len(known)} {label} sub-symbols recoverable; "
+                    f"{self.k} required"
+                )
+            halves.append(self.precode.decode(known))
+        return np.concatenate(halves, axis=0)
+
+    def __repr__(self) -> str:
+        return f"SimpleRegeneratingCode(n={self.n}, k={self.k})"

@@ -1,0 +1,74 @@
+"""Archival-cluster experiment (Section 7's closing argument).
+
+"One related area where we believe locally repairable codes can have a
+significant impact is purely archival clusters.  In this case we can
+deploy large LRCs (i.e., stripe sizes of 50 or 100 blocks) that can
+simultaneously offer high fault tolerance and small storage overhead.
+This would be impractical if Reed-Solomon codes are used since the
+repair traffic grows linearly in the stripe size."
+
+The harness sweeps stripe sizes, reports per-scheme storage overhead,
+single-failure repair reads and MTTDL, and renders the comparison as a
+text table.  The repair-traffic divergence (RS linear in k, LRC flat at
+the group size) is the quantity the quote predicts.
+"""
+
+from __future__ import annotations
+
+from ..reliability.models import ClusterReliabilityParameters
+from ..reliability.sensitivity import ArchivalRow, archival_comparison
+from .report import format_table
+
+__all__ = ["run_archival_experiment", "render_archival", "repair_traffic_ratio"]
+
+DEFAULT_STRIPE_SIZES: tuple[int, ...] = (10, 20, 50, 100)
+
+
+def run_archival_experiment(
+    stripe_sizes: tuple[int, ...] = DEFAULT_STRIPE_SIZES,
+    parities: int = 4,
+    group_size: int = 5,
+    params: ClusterReliabilityParameters | None = None,
+    samples: int = 150,
+    seed: int = 0,
+) -> list[ArchivalRow]:
+    """RS versus LRC across archival stripe sizes; see DESIGN.md E12."""
+    return archival_comparison(
+        stripe_sizes=stripe_sizes,
+        parities=parities,
+        group_size=group_size,
+        params=params,
+        samples=samples,
+        seed=seed,
+    )
+
+
+def repair_traffic_ratio(rows: list[ArchivalRow], k: int) -> float:
+    """RS-over-LRC single-repair read ratio at stripe size ``k``.
+
+    Grows ~linearly in k (k/r), the "impractical" scaling of the quote.
+    """
+    rs = [r for r in rows if r.k == k and r.scheme.startswith("RS")]
+    lrc = [r for r in rows if r.k == k and "LRC" in r.scheme]
+    if not rs or not lrc:
+        raise ValueError(f"no rows for stripe size {k}")
+    return rs[0].single_repair_reads / lrc[0].single_repair_reads
+
+
+def render_archival(rows: list[ArchivalRow]) -> str:
+    """Text table of the archival sweep."""
+    return format_table(
+        ["scheme", "k", "n", "overhead", "repair reads", "MTTDL (days)"],
+        [
+            (
+                row.scheme,
+                row.k,
+                row.n,
+                f"{row.storage_overhead:.2f}x",
+                f"{row.single_repair_reads:.1f}",
+                f"{row.mttdl_days:.3e}",
+            )
+            for row in rows
+        ],
+        title="Archival stripes: RS vs LRC (Section 7)",
+    )

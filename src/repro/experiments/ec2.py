@@ -1,0 +1,124 @@
+"""The Amazon EC2 experiments (Section 5.2, Figures 4, 5 and 6).
+
+Two 51-instance clusters (1 master + 50 slaves), 640 MB files with 64 MB
+blocks so each file is exactly one stripe (14 blocks under HDFS-RS, 16
+under HDFS-Xorbas), and eight failure events terminating
+1/1/1/1/3/3/2/2 DataNodes.  Three experiment sizes: 50, 100 and 200
+files; Figure 4/5 report the 200-file run, Figure 6 pools all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codes.lrc import xorbas_lrc
+from ..codes.reed_solomon import rs_10_4
+from ..cluster import EC2_FAILURE_PATTERN, ec2_config
+from .runner import SchemeRun, run_failure_schedule
+
+__all__ = [
+    "EC2_FILE_SIZE",
+    "EC2ExperimentResult",
+    "run_ec2_experiment",
+    "run_all_ec2_experiments",
+    "least_squares_slope",
+    "fig6_slopes",
+]
+
+EC2_FILE_SIZE = 640e6  # one full stripe per file (Section 5.2)
+
+#: Paper reference values for Figure 6's least-squares slopes: average
+#: blocks read per lost block (Section 5.2.1).
+PAPER_BLOCKS_READ_PER_LOST = {"HDFS-RS": 11.5, "HDFS-Xorbas": 5.8}
+
+
+@dataclass
+class EC2ExperimentResult:
+    """Both clusters driven through the same failure schedule."""
+
+    num_files: int
+    rs: SchemeRun
+    xorbas: SchemeRun
+
+    def runs(self) -> list[SchemeRun]:
+        return [self.rs, self.xorbas]
+
+
+def run_ec2_experiment(
+    num_files: int = 200,
+    seed: int = 0,
+    num_nodes: int = 50,
+    pattern: tuple[int, ...] = EC2_FAILURE_PATTERN,
+    event_gap: float = 900.0,
+) -> EC2ExperimentResult:
+    """One full EC2 experiment: identical schedules on HDFS-RS and Xorbas."""
+    if num_files < 1:
+        raise ValueError("need at least one file")
+    sizes = [EC2_FILE_SIZE] * num_files
+    config = ec2_config(num_nodes=num_nodes)
+    rs_run = run_failure_schedule(
+        "HDFS-RS", rs_10_4(), config, sizes, pattern, seed=seed, event_gap=event_gap
+    )
+    xorbas_run = run_failure_schedule(
+        "HDFS-Xorbas",
+        xorbas_lrc(),
+        config,
+        sizes,
+        pattern,
+        seed=seed,
+        event_gap=event_gap,
+    )
+    return EC2ExperimentResult(num_files=num_files, rs=rs_run, xorbas=xorbas_run)
+
+
+def run_all_ec2_experiments(
+    file_counts: tuple[int, ...] = (50, 100, 200), seed: int = 0
+) -> list[EC2ExperimentResult]:
+    """The paper's three experiment sizes, pooled for Figure 6."""
+    return [
+        run_ec2_experiment(num_files=count, seed=seed + i)
+        for i, count in enumerate(file_counts)
+    ]
+
+
+def least_squares_slope(xs: list[float], ys: list[float]) -> float:
+    """Zero-intercept least-squares slope (the fit lines of Figure 6)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    denominator = float((x * x).sum())
+    if denominator == 0:
+        raise ValueError("cannot fit a slope to all-zero x values")
+    return float((x * y).sum() / denominator)
+
+
+def fig6_slopes(results: list[EC2ExperimentResult]) -> dict[str, dict[str, float]]:
+    """Least-squares slopes of the Figure 6 scatter, per scheme.
+
+    Returns, for each scheme, the average blocks read per lost block,
+    GB of network traffic per lost block, and repair minutes per lost
+    block.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for scheme_index in range(2):
+        runs = [result.runs()[scheme_index] for result in results]
+        scheme = runs[0].scheme
+        lost, read, net, dur = [], [], [], []
+        for run in runs:
+            for event in run.events:
+                lost.append(event.blocks_lost)
+                read.append(event.hdfs_bytes_read)
+                net.append(event.network_out_bytes)
+                dur.append(event.repair_duration)
+        block_size = runs[0].cluster.config.block_size
+        out[scheme] = {
+            "blocks_read_per_lost": least_squares_slope(
+                lost, [r / block_size for r in read]
+            ),
+            "network_gb_per_lost": least_squares_slope(lost, [n / 1e9 for n in net]),
+            "repair_minutes_per_lost": least_squares_slope(
+                lost, [d / 60.0 for d in dur]
+            ),
+        }
+    return out

@@ -1,0 +1,111 @@
+"""Machine-readable export of experiment artefacts (CSV / JSON).
+
+The text tables in :mod:`repro.experiments.report` are for terminals;
+downstream plotting (regenerating the paper's actual figures in
+matplotlib, feeding a notebook, diffing runs in CI) wants structured
+files.  Every harness result in this package is a list of flat
+dataclasses, so one generic exporter covers them all: it introspects
+the dataclass fields (plus any property names requested) and writes
+one row per result.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import pathlib
+from typing import Any, Sequence
+
+__all__ = ["rows_to_dicts", "export_csv", "export_json", "export_all"]
+
+
+def rows_to_dicts(
+    rows: Sequence[Any], properties: Sequence[str] = ()
+) -> list[dict[str, Any]]:
+    """Flatten dataclass instances (plus selected properties) to dicts.
+
+    Non-scalar field values (nested dataclasses, arrays, chains) are
+    skipped — exports carry the reported numbers, not model internals.
+    """
+    out: list[dict[str, Any]] = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise TypeError(f"expected a dataclass row, got {type(row)!r}")
+        record: dict[str, Any] = {}
+        for field in dataclasses.fields(row):
+            value = getattr(row, field.name)
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                record[field.name] = value
+        for name in properties:
+            value = getattr(row, name)
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                record[name] = value
+            else:
+                raise TypeError(f"property {name!r} is not scalar")
+        out.append(record)
+    return out
+
+
+def export_csv(
+    rows: Sequence[Any],
+    path: str | pathlib.Path,
+    properties: Sequence[str] = (),
+) -> pathlib.Path:
+    """Write one CSV with a header row; returns the path written."""
+    records = rows_to_dicts(rows, properties)
+    if not records:
+        raise ValueError("nothing to export")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def export_json(
+    rows: Sequence[Any],
+    path: str | pathlib.Path,
+    properties: Sequence[str] = (),
+) -> pathlib.Path:
+    """Write a JSON array of row objects; returns the path written."""
+    records = rows_to_dicts(rows, properties)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return path
+
+
+def export_all(directory: str | pathlib.Path, seed: int = 0) -> list[pathlib.Path]:
+    """Run the cheap extension harnesses and export each as CSV.
+
+    Covers the analytical artefacts (Table 1, baselines, geo, tradeoff,
+    archival); the cluster simulations are exported by their benchmarks
+    (they are too slow to rerun casually).
+    """
+    from ..reliability.mttdl import compute_table1
+    from .archival import run_archival_experiment
+    from .baselines import compare_baselines
+    from .geo import run_geo_experiment
+    from .tradeoff import locality_sweep
+
+    directory = pathlib.Path(directory)
+    written = [
+        export_csv(compare_baselines(), directory / "baselines.csv"),
+        export_csv(
+            run_geo_experiment(), directory / "geo_wan.csv"
+        ),
+        export_csv(
+            run_archival_experiment(stripe_sizes=(10, 20, 50), samples=60, seed=seed),
+            directory / "archival.csv",
+        ),
+        export_csv(locality_sweep(), directory / "tradeoff.csv"),
+        export_csv(
+            compute_table1(),
+            directory / "table1.csv",
+            properties=("mttdl_years",),
+        ),
+    ]
+    return written

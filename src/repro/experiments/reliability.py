@@ -1,0 +1,80 @@
+"""Table 1 harness: reliability comparison with paper-vs-measured rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reliability import (
+    PAPER_TABLE1,
+    ClusterReliabilityParameters,
+    SchemeReliability,
+    compute_table1,
+    mttdl_zeros,
+)
+from .report import format_table
+
+__all__ = ["Table1Comparison", "table1_comparison", "render_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Comparison:
+    """One scheme's measured-vs-published Table 1 row."""
+
+    scheme: str
+    storage_overhead: float
+    repair_traffic_blocks: float
+    mttdl_days: float
+    paper_mttdl_days: float
+
+    @property
+    def zeros(self) -> int:
+        return mttdl_zeros(self.mttdl_days)
+
+    @property
+    def paper_zeros(self) -> int:
+        return mttdl_zeros(self.paper_mttdl_days)
+
+
+def table1_comparison(
+    params: ClusterReliabilityParameters | None = None,
+) -> list[Table1Comparison]:
+    rows: list[SchemeReliability] = compute_table1(params)
+    return [
+        Table1Comparison(
+            scheme=row.name,
+            storage_overhead=row.storage_overhead,
+            repair_traffic_blocks=row.repair_traffic_blocks,
+            mttdl_days=row.mttdl_days,
+            paper_mttdl_days=paper.mttdl_days,
+        )
+        for row, paper in zip(rows, PAPER_TABLE1)
+    ]
+
+
+def render_table1(comparisons: list[Table1Comparison] | None = None) -> str:
+    if comparisons is None:
+        comparisons = table1_comparison()
+    return format_table(
+        headers=[
+            "Scheme",
+            "Overhead",
+            "Repair traffic",
+            "MTTDL (days)",
+            "Paper MTTDL",
+            "zeros",
+            "paper zeros",
+        ],
+        rows=[
+            (
+                c.scheme,
+                f"{c.storage_overhead:.1f}x",
+                f"{c.repair_traffic_blocks:.0f}x",
+                c.mttdl_days,
+                c.paper_mttdl_days,
+                c.zeros,
+                c.paper_zeros,
+            )
+            for c in comparisons
+        ],
+        title="Table 1: storage overhead, repair traffic and MTTDL",
+    )

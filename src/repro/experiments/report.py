@@ -1,0 +1,65 @@
+"""Plain-text rendering of tables and figure series.
+
+Benchmarks print through these helpers so every harness emits the same
+rows/series the paper reports, in a diff-friendly fixed-width format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.4e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    label: str, series: Sequence[tuple[float, float]], scale: float = 1.0, unit: str = ""
+) -> str:
+    """A compact (time, value) listing for Figure 5-style time series."""
+    points = "  ".join(f"{t / 60:.0f}m:{v * scale:.1f}" for t, v in series)
+    suffix = f" [{unit}]" if unit else ""
+    return f"{label}{suffix}: {points}"
+
+
+def format_bar_chart(
+    title: str,
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """ASCII grouped bars — the Figure 4 visual in terminal form."""
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=1.0)
+    peak = peak or 1.0
+    lines = [title]
+    for index, label in enumerate(labels):
+        for name, vals in series.items():
+            value = vals[index]
+            bar = "#" * max(1, int(width * value / peak)) if value > 0 else ""
+            lines.append(f"  {label:>10} {name:<12} {bar} {value:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Binary extension fields GF(2^m) with vectorised numpy arithmetic.
+
+The construction follows the classical log/antilog-table approach: a
+primitive element ``alpha`` (the residue of x modulo a primitive
+polynomial) generates the multiplicative group, so every non-zero element
+equals ``alpha^i`` for a unique exponent i, and multiplication reduces to
+adding exponents modulo ``2^m - 1``.
+
+All element-wise operations (:meth:`GF.mul`, :meth:`GF.div`, ...) accept
+numpy arrays and broadcast like the corresponding numpy ufuncs, which is
+what makes block encoding over multi-megabyte payloads practical in pure
+Python.  Addition in characteristic 2 is XOR, so subtraction coincides
+with addition — the identity the paper exploits when it turns the "minus"
+signs of equations (1) and (2) into XORs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .primitive import default_primitive_poly, poly_degree
+
+__all__ = ["GF", "GF16", "GF256"]
+
+
+def _dtype_for(m: int) -> np.dtype:
+    if m <= 8:
+        return np.dtype(np.uint8)
+    if m <= 16:
+        return np.dtype(np.uint16)
+    raise ValueError(f"GF(2^{m}) not supported; maximum degree is 16")
+
+
+class GF:
+    """The finite field GF(2^m) for 1 <= m <= 16.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the field has ``2^m`` elements.
+    primitive_poly:
+        Optional primitive polynomial (integer bit-mask encoding).  Defaults
+        to the conventional polynomial for the degree.
+
+    Field elements are represented as Python ints or numpy unsigned
+    integers in ``[0, 2^m)``.  Instances are immutable and safely shared.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if not 1 <= m <= 16:
+            raise ValueError("field degree m must be in [1, 16]")
+        if primitive_poly is None:
+            primitive_poly = default_primitive_poly(m)
+        if poly_degree(primitive_poly) != m:
+            raise ValueError(
+                f"primitive polynomial degree {poly_degree(primitive_poly)} "
+                f"does not match field degree {m}"
+            )
+        self.m = m
+        self.order = 1 << m
+        self.primitive_poly = primitive_poly
+        self.dtype = _dtype_for(m)
+        self._exp, self._log = self._build_tables()
+
+    def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Build antilog (exp) and log tables for the multiplicative group.
+
+        ``exp`` is doubled in length so that products of two logs can be
+        looked up without a modulo reduction.
+        """
+        group_order = self.order - 1
+        exp = np.zeros(2 * group_order, dtype=self.dtype)
+        log = np.zeros(self.order, dtype=np.int64)
+        value = 1
+        for i in range(group_order):
+            exp[i] = value
+            log[value] = i
+            value <<= 1
+            if value & self.order:
+                value ^= self.primitive_poly
+            if value == 1 and i + 1 < group_order:
+                raise ValueError(
+                    f"polynomial {self.primitive_poly:#x} is not primitive for "
+                    f"GF(2^{self.m}): alpha has order {i + 1} < {group_order}"
+                )
+        if value != 1:
+            raise ValueError(
+                f"polynomial {self.primitive_poly:#x} is not irreducible for "
+                f"GF(2^{self.m})"
+            )
+        exp[group_order:] = exp[:group_order]
+        log[0] = -1  # log of zero is undefined; sentinel for debugging
+        return exp, log
+
+    # -- basic element arithmetic ------------------------------------------
+
+    @property
+    def alpha(self) -> int:
+        """The primitive element used to generate the field (always 2)."""
+        return 2
+
+    def add(self, a, b):
+        """Field addition (XOR in characteristic 2); broadcasts."""
+        return np.bitwise_xor(a, b)
+
+    # Subtraction is identical to addition in characteristic 2.
+    sub = add
+
+    def mul(self, a, b):
+        """Element-wise field multiplication via log/antilog tables."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        a, b = np.broadcast_arrays(a, b)
+        result = np.zeros(a.shape, dtype=self.dtype)
+        nonzero = (a != 0) & (b != 0)
+        if np.any(nonzero):
+            logs = self._log[a[nonzero]] + self._log[b[nonzero]]
+            result[nonzero] = self._exp[logs]
+        if result.ndim == 0:
+            return self.dtype.type(result)
+        return result
+
+    def inv(self, a):
+        """Multiplicative inverse; raises ZeroDivisionError on zero."""
+        a_arr = np.asarray(a, dtype=self.dtype)
+        if np.any(a_arr == 0):
+            raise ZeroDivisionError("zero has no multiplicative inverse in GF(2^m)")
+        group_order = self.order - 1
+        result = self._exp[group_order - self._log[a_arr]]
+        if result.ndim == 0:
+            return self.dtype.type(result)
+        return result
+
+    def div(self, a, b):
+        """Element-wise field division ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a, e: int):
+        """Raise field element(s) ``a`` to the integer power ``e``."""
+        a_arr = np.asarray(a, dtype=self.dtype)
+        group_order = self.order - 1
+        if e == 0:
+            result = np.ones(a_arr.shape, dtype=self.dtype)
+            result[a_arr == 0] = 1  # 0^0 == 1 by convention here
+            return result if result.ndim else self.dtype.type(1)
+        if np.any(a_arr == 0):
+            if e < 0:
+                raise ZeroDivisionError("cannot raise zero to a negative power")
+            result = np.zeros(a_arr.shape, dtype=self.dtype)
+            nz = a_arr != 0
+            result[nz] = self._exp[(self._log[a_arr[nz]] * e) % group_order]
+            return result if result.ndim else self.dtype.type(result)
+        logs = (self._log[a_arr] * e) % group_order
+        result = self._exp[logs]
+        if result.ndim == 0:
+            return self.dtype.type(result)
+        return result
+
+    def exp(self, i: int):
+        """Return ``alpha^i`` for the primitive element alpha."""
+        return int(self._exp[i % (self.order - 1)])
+
+    def log(self, a) -> int:
+        """Discrete logarithm base alpha of a non-zero element."""
+        a = int(a)
+        if a == 0:
+            raise ZeroDivisionError("log(0) undefined")
+        if not 0 < a < self.order:
+            raise ValueError(f"{a} is not an element of GF(2^{self.m})")
+        return int(self._log[a])
+
+    # -- bulk helpers used by the coding layer -----------------------------
+
+    def scale(self, coeff, vec: np.ndarray) -> np.ndarray:
+        """Multiply a vector of field elements by a scalar coefficient.
+
+        This is the hot inner loop of block encoding: one table lookup per
+        byte, fully vectorised.
+        """
+        coeff = int(coeff)
+        vec = np.asarray(vec, dtype=self.dtype)
+        if coeff == 0:
+            return np.zeros_like(vec)
+        if coeff == 1:
+            return vec.copy()
+        out = np.zeros_like(vec)
+        nz = vec != 0
+        out[nz] = self._exp[self._log[vec[nz]] + self._log[coeff]]
+        return out
+
+    def addmul(self, acc: np.ndarray, coeff, vec: np.ndarray) -> None:
+        """In-place ``acc ^= coeff * vec`` — the GF(2^m) axpy kernel."""
+        coeff = int(coeff)
+        if coeff == 0:
+            return
+        if coeff == 1:
+            np.bitwise_xor(acc, np.asarray(vec, dtype=self.dtype), out=acc)
+            return
+        np.bitwise_xor(acc, self.scale(coeff, vec), out=acc)
+
+    def elements(self) -> np.ndarray:
+        """All field elements ``0 .. 2^m - 1`` in natural order."""
+        return np.arange(self.order, dtype=self.dtype)
+
+    def random_elements(self, rng: np.random.Generator, size, nonzero: bool = False):
+        """Draw uniform random field elements, optionally excluding zero."""
+        low = 1 if nonzero else 0
+        return rng.integers(low, self.order, size=size, dtype=np.int64).astype(self.dtype)
+
+    # -- dunder conveniences ------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"GF(2^{self.m}, poly={self.primitive_poly:#x})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GF)
+            and other.m == self.m
+            and other.primitive_poly == self.primitive_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.primitive_poly))
+
+
+# Shared instances of the two fields the paper's systems use: HDFS-RAID
+# operates on bytes (GF(2^8)); GF(2^4) is handy for exhaustive tests.
+GF16 = GF(4)
+GF256 = GF(8)

@@ -1,0 +1,275 @@
+"""Univariate polynomials over GF(2^m).
+
+Reed-Solomon codes are, at heart, polynomial evaluation codes: the data
+symbols are the coefficients of a message polynomial f of degree < k, the
+coded symbols are evaluations ``f(a_j)`` at distinct field points, and
+erasure decoding is Lagrange interpolation through any k survivors.  The
+matrix view in :mod:`repro.codes.reed_solomon` is what HDFS-RAID ships;
+this module supplies the polynomial view, used as an independent
+cross-check of the matrix decoder and as the substrate for the
+generalized-Reed-Solomon coefficient analysis of the paper's Appendix D.
+
+Coefficients are stored low-degree first (``coeffs[i]`` multiplies x^i),
+normalised so the leading coefficient is non-zero; the zero polynomial
+has an empty coefficient array and degree -1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .field import GF
+
+__all__ = ["Poly", "lagrange_interpolate", "evaluate_many"]
+
+
+class Poly:
+    """An immutable polynomial over a fixed GF(2^m).
+
+    Supports ``+``, ``-`` (same as ``+`` in characteristic 2), ``*``,
+    ``divmod``, ``%``, ``//``, evaluation via :meth:`__call__`, and the
+    derivative (which over GF(2^m) keeps only the odd-degree terms).
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GF, coeffs: Sequence[int] | np.ndarray):
+        arr = np.asarray(coeffs, dtype=field.dtype)
+        if arr.ndim != 1:
+            raise ValueError("coefficients must be one-dimensional")
+        nonzero = np.nonzero(arr)[0]
+        if nonzero.size:
+            arr = arr[: nonzero[-1] + 1].copy()
+        else:
+            arr = np.zeros(0, dtype=field.dtype)
+        self.field = field
+        self.coeffs = arr
+        self.coeffs.setflags(write=False)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: GF) -> "Poly":
+        return cls(field, [])
+
+    @classmethod
+    def one(cls, field: GF) -> "Poly":
+        return cls(field, [1])
+
+    @classmethod
+    def monomial(cls, field: GF, degree: int, coeff: int = 1) -> "Poly":
+        """The polynomial ``coeff * x^degree``."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        coeffs = np.zeros(degree + 1, dtype=field.dtype)
+        coeffs[degree] = coeff
+        return cls(field, coeffs)
+
+    @classmethod
+    def from_roots(cls, field: GF, roots: Sequence[int]) -> "Poly":
+        """The monic polynomial ``prod (x - root)`` (x + root over GF(2^m))."""
+        result = cls.one(field)
+        for root in roots:
+            result = result * cls(field, [int(root), 1])
+        return result
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return len(self.coeffs) == 0
+
+    def leading_coefficient(self) -> int:
+        if self.is_zero():
+            raise ValueError("the zero polynomial has no leading coefficient")
+        return int(self.coeffs[-1])
+
+    def coefficient(self, degree: int) -> int:
+        """The coefficient of x^degree (0 beyond the stored length)."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        if degree >= len(self.coeffs):
+            return 0
+        return int(self.coeffs[degree])
+
+    def monic(self) -> "Poly":
+        """Scale so the leading coefficient is 1."""
+        if self.is_zero():
+            raise ValueError("cannot normalise the zero polynomial")
+        lead = self.leading_coefficient()
+        if lead == 1:
+            return self
+        return self.scale(self.field.inv(lead))
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _check_field(self, other: "Poly") -> None:
+        if self.field != other.field:
+            raise ValueError("polynomials live over different fields")
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._check_field(other)
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = a.copy()
+        out[: len(b)] ^= b
+        return Poly(self.field, out)
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def scale(self, coeff) -> "Poly":
+        """Multiply every coefficient by a field scalar."""
+        coeff = int(coeff)
+        if coeff == 0:
+            return Poly.zero(self.field)
+        return Poly(self.field, self.field.scale(coeff, self.coeffs))
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._check_field(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.field)
+        out = np.zeros(self.degree + other.degree + 1, dtype=self.field.dtype)
+        for i, c in enumerate(self.coeffs):
+            if c:
+                self.field.addmul(out[i : i + len(other.coeffs)], c, other.coeffs)
+        return Poly(self.field, out)
+
+    def __divmod__(self, divisor: "Poly") -> tuple["Poly", "Poly"]:
+        self._check_field(divisor)
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        field = self.field
+        remainder = self.coeffs.copy()
+        if self.degree < divisor.degree:
+            return Poly.zero(field), self
+        quotient = np.zeros(self.degree - divisor.degree + 1, dtype=field.dtype)
+        inv_lead = field.inv(divisor.leading_coefficient())
+        for shift in range(len(quotient) - 1, -1, -1):
+            top = remainder[shift + divisor.degree]
+            if not top:
+                continue
+            factor = field.mul(top, inv_lead)
+            quotient[shift] = factor
+            field.addmul(
+                remainder[shift : shift + len(divisor.coeffs)],
+                int(factor),
+                divisor.coeffs,
+            )
+        return Poly(field, quotient), Poly(field, remainder)
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return divmod(self, divisor)[0]
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return divmod(self, divisor)[1]
+
+    def derivative(self) -> "Poly":
+        """Formal derivative: in characteristic 2 even-degree terms vanish."""
+        if self.degree < 1:
+            return Poly.zero(self.field)
+        out = np.zeros(self.degree, dtype=self.field.dtype)
+        # d/dx sum c_i x^i = sum i*c_i x^{i-1}; i mod 2 decides survival.
+        out[0::2] = self.coeffs[1::2]
+        return Poly(self.field, out)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def __call__(self, x):
+        """Evaluate at one point or an array of points (Horner's rule)."""
+        field = self.field
+        x = np.asarray(x, dtype=field.dtype)
+        result = np.zeros(x.shape, dtype=field.dtype)
+        for coeff in self.coeffs[::-1]:
+            result = field.mul(result, x)
+            if coeff:
+                result = field.add(result, field.dtype.type(coeff))
+        if result.ndim == 0:
+            return field.dtype.type(result)
+        return result
+
+    def roots(self) -> list[int]:
+        """All roots in the field, by exhaustive evaluation."""
+        points = self.field.elements()
+        values = self(points)
+        return [int(p) for p, v in zip(points, values) if v == 0]
+
+    # -- dunder conveniences ----------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Poly)
+            and other.field == self.field
+            and np.array_equal(other.coeffs, self.coeffs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Poly(0)"
+        terms = []
+        for i, c in enumerate(self.coeffs):
+            if not c:
+                continue
+            if i == 0:
+                terms.append(f"{int(c)}")
+            elif i == 1:
+                terms.append(f"{int(c)}*x" if c != 1 else "x")
+            else:
+                terms.append(f"{int(c)}*x^{i}" if c != 1 else f"x^{i}")
+        return "Poly(" + " + ".join(terms) + ")"
+
+
+def lagrange_interpolate(
+    field: GF, points: Sequence[int], values: Sequence[int]
+) -> Poly:
+    """The unique polynomial of degree < len(points) through the samples.
+
+    This is the heavy-decoder primitive of the polynomial RS view: given
+    k surviving evaluations, it reconstructs the message polynomial.
+    Points must be distinct; a repeated point raises ValueError.
+    """
+    if len(points) != len(values):
+        raise ValueError("points and values must have equal length")
+    if len(set(int(p) for p in points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    result = Poly.zero(field)
+    for i, (xi, yi) in enumerate(zip(points, values)):
+        if int(yi) == 0:
+            continue
+        # Basis polynomial L_i = prod_{j != i} (x - x_j) / (x_i - x_j).
+        basis = Poly.from_roots(field, [p for j, p in enumerate(points) if j != i])
+        denom = 1
+        for j, xj in enumerate(points):
+            if j != i:
+                denom = field.mul(denom, field.add(int(xi), int(xj)))
+        result = result + basis.scale(field.mul(int(yi), field.inv(denom)))
+    return result
+
+
+def evaluate_many(field: GF, coeffs: np.ndarray, points: Sequence[int]) -> np.ndarray:
+    """Evaluate a batch of polynomials (rows of ``coeffs``) at ``points``.
+
+    Vectorised over the payload dimension: ``coeffs`` has shape
+    ``(k, width)`` — one polynomial per payload column, coefficient i in
+    row i — and the result has shape ``(len(points), width)``.  This is
+    exactly the RS encode map in the polynomial view.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=field.dtype))
+    out = np.zeros((len(points), coeffs.shape[1]), dtype=field.dtype)
+    for row, point in enumerate(points):
+        acc = np.zeros(coeffs.shape[1], dtype=field.dtype)
+        for level in coeffs[::-1]:
+            acc = field.mul(acc, field.dtype.type(int(point)))
+            np.bitwise_xor(acc, level, out=acc)
+        out[row] = acc
+    return out

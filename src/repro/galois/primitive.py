@@ -1,0 +1,101 @@
+"""Primitive polynomials over GF(2) used to construct binary extension fields.
+
+A binary extension field GF(2^m) is built as GF(2)[x] / (p(x)) for a
+primitive polynomial p of degree m.  Primitivity of p guarantees that the
+residue of x is a generator of the multiplicative group, which is what the
+log/antilog table construction in :mod:`repro.galois.field` relies on and
+what the paper's Appendix D assumes when it takes ``alpha`` to be "a
+primitive element of the field".
+"""
+
+from __future__ import annotations
+
+# Conventional primitive polynomials, encoded as integers whose binary
+# representation lists the coefficients (MSB = x^m term).  These match the
+# polynomials used by common Reed-Solomon implementations (e.g. the degree-8
+# entry 0x11D is the polynomial used by HDFS-RAID's GaloisField).
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    1: 0b11,                # x + 1
+    2: 0b111,               # x^2 + x + 1
+    3: 0b1011,              # x^3 + x + 1
+    4: 0b10011,             # x^4 + x + 1
+    5: 0b100101,            # x^5 + x^2 + 1
+    6: 0b1000011,           # x^6 + x + 1
+    7: 0b10001001,          # x^7 + x^3 + 1
+    8: 0b100011101,         # x^8 + x^4 + x^3 + x^2 + 1 (0x11D)
+    9: 0b1000010001,        # x^9 + x^4 + 1
+    10: 0b10000001001,      # x^10 + x^3 + 1
+    11: 0b100000000101,     # x^11 + x^2 + 1
+    12: 0b1000001010011,    # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,   # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,  # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+def default_primitive_poly(m: int) -> int:
+    """Return the conventional primitive polynomial for GF(2^m).
+
+    Raises :class:`ValueError` when no polynomial is tabulated for ``m``.
+    """
+    if m not in PRIMITIVE_POLYNOMIALS:
+        raise ValueError(
+            f"no primitive polynomial tabulated for GF(2^{m}); "
+            f"supported degrees: {sorted(PRIMITIVE_POLYNOMIALS)}"
+        )
+    return PRIMITIVE_POLYNOMIALS[m]
+
+
+def poly_degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial encoded as an integer bit mask."""
+    if poly <= 0:
+        raise ValueError("polynomial encoding must be a positive integer")
+    return poly.bit_length() - 1
+
+
+def poly_mul_mod(a: int, b: int, modulus: int) -> int:
+    """Multiply two GF(2) polynomials modulo ``modulus`` (carry-less)."""
+    m = poly_degree(modulus)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> m & 1:
+            a ^= modulus
+    return result
+
+
+def is_primitive(poly: int) -> bool:
+    """Check whether ``poly`` is primitive over GF(2).
+
+    The check verifies that x generates the full multiplicative group of
+    GF(2)[x]/(poly): the order of x must be exactly ``2^m - 1``.  This is
+    exhaustive and therefore intended for small degrees (m <= 16).
+    """
+    m = poly_degree(poly)
+    if m == 0:
+        return False
+    group_order = (1 << m) - 1
+    element = 1
+    for step in range(1, group_order + 1):
+        element = poly_mul_mod(element, 2, poly)  # multiply by x
+        if element == 1:
+            return step == group_order
+    return False
+
+
+def find_primitive_poly(m: int) -> int:
+    """Search for the lexicographically smallest primitive polynomial.
+
+    Used by tests to cross-check :data:`PRIMITIVE_POLYNOMIALS`; production
+    code should prefer :func:`default_primitive_poly`.
+    """
+    if m < 1:
+        raise ValueError("field degree must be >= 1")
+    for candidate in range((1 << m) + 1, 1 << (m + 1)):
+        if is_primitive(candidate):
+            return candidate
+    raise RuntimeError(f"no primitive polynomial of degree {m} found")

@@ -1,0 +1,185 @@
+"""WAN repair-traffic and site-fault-tolerance analysis of geo layouts.
+
+Quantifies Section 1.1's geo-diversity argument: for each (code,
+placement) pair we compute the WAN bytes a single-block repair moves,
+the dollar cost of a year of repairs, and how many *whole data center*
+losses the stripe survives.  The punchline reproduced by the geo
+benchmark: an LRC with one group per site repairs every single block
+without touching the WAN, at 0.6x storage versus geo-replication's 2x,
+while keeping two-site fault tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..codes.base import ErasureCode
+from ..codes.lrc import xorbas_lrc
+from ..codes.reed_solomon import rs_10_4
+from ..codes.replication import three_replication
+from .placement import (
+    GeoPlacement,
+    group_per_site,
+    replica_per_site,
+    spread_placement,
+)
+from .topology import GeoTopology
+
+__all__ = [
+    "GeoRepairReport",
+    "wan_blocks_for_repair",
+    "expected_wan_repair_blocks",
+    "fraction_wan_free_repairs",
+    "site_fault_tolerance",
+    "analyze_geo_scheme",
+    "compare_geo_schemes",
+]
+
+
+def wan_blocks_for_repair(placement: GeoPlacement, lost: int) -> int:
+    """WAN block-transfers to rebuild ``lost`` at its home site.
+
+    Chooses the repair plan that minimises WAN transfers (ties broken by
+    total reads), falling back to a heavy decode that reads k surviving
+    blocks — preferring survivors co-located with the rebuild site, as
+    any bandwidth-aware block fixer would.
+    """
+    code = placement.code
+    home = placement.site_of[lost]
+    available = [i for i in range(code.n) if i != lost]
+    plans = [
+        plan
+        for plan in code.repair_plans(lost)
+        if set(plan.sources).issubset(available)
+    ]
+    if plans:
+        return min(
+            (
+                sum(1 for s in plan.sources if placement.site_of[s] != home),
+                plan.num_reads,
+            )
+            for plan in plans
+        )[0]
+    # Heavy decode: read survivors local-first until the set decodes.
+    local_first = sorted(
+        available, key=lambda i: (placement.site_of[i] != home, i)
+    )
+    chosen: list[int] = []
+    for idx in local_first:
+        chosen.append(idx)
+        if len(chosen) >= code.k and code.is_decodable(chosen):
+            break
+    return sum(1 for i in chosen if placement.site_of[i] != home)
+
+
+def expected_wan_repair_blocks(placement: GeoPlacement) -> float:
+    """Mean WAN transfers over a uniformly random single lost block."""
+    code = placement.code
+    total = sum(wan_blocks_for_repair(placement, lost) for lost in range(code.n))
+    return total / code.n
+
+
+def fraction_wan_free_repairs(placement: GeoPlacement) -> float:
+    """Fraction of single-block repairs that never touch the WAN."""
+    code = placement.code
+    free = sum(
+        1 for lost in range(code.n) if wan_blocks_for_repair(placement, lost) == 0
+    )
+    return free / code.n
+
+
+def site_fault_tolerance(placement: GeoPlacement) -> int:
+    """The largest f such that *any* f whole-site losses are decodable."""
+    code = placement.code
+    sites = placement.sites_used()
+    tolerance = 0
+    for f in range(1, len(sites) + 1):
+        for dead in combinations(sites, f):
+            survivors = [
+                i for i in range(code.n) if placement.site_of[i] not in dead
+            ]
+            if not code.is_decodable(survivors):
+                return tolerance
+        tolerance = f
+    return tolerance
+
+
+@dataclass(frozen=True)
+class GeoRepairReport:
+    """One row of the geo comparison (the Section 1.1 tradeoff)."""
+
+    scheme: str
+    placement: str
+    storage_overhead: float
+    site_fault_tolerance: int
+    expected_wan_blocks: float
+    wan_free_fraction: float
+    wan_seconds_per_repair: float
+    wan_dollars_per_repair: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme:<16} {self.placement:<16} "
+            f"overhead={self.storage_overhead:.1f}x "
+            f"site-ft={self.site_fault_tolerance} "
+            f"wan-blocks/repair={self.expected_wan_blocks:.2f} "
+            f"wan-free={self.wan_free_fraction:.0%}"
+        )
+
+
+def analyze_geo_scheme(
+    placement: GeoPlacement,
+    topology: GeoTopology,
+    block_size_bytes: float,
+    name: str | None = None,
+) -> GeoRepairReport:
+    """Evaluate one (code, placement) pair on a topology."""
+    code = placement.code
+    wan_blocks = expected_wan_repair_blocks(placement)
+    wan_bytes = wan_blocks * block_size_bytes
+    # Coarse link model: WAN reads are serialised over one uniform link.
+    sites = topology.site_names
+    sample_link = topology.link(sites[0], sites[1])
+    return GeoRepairReport(
+        scheme=name or getattr(code, "name", repr(code)),
+        placement=placement.name,
+        storage_overhead=code.storage_overhead,
+        site_fault_tolerance=site_fault_tolerance(placement),
+        expected_wan_blocks=wan_blocks,
+        wan_free_fraction=fraction_wan_free_repairs(placement),
+        wan_seconds_per_repair=wan_bytes / sample_link.bandwidth,
+        wan_dollars_per_repair=wan_bytes * sample_link.cost_per_byte,
+    )
+
+
+def compare_geo_schemes(
+    topology: GeoTopology, block_size_bytes: float = 256e6
+) -> list[GeoRepairReport]:
+    """The three-way geo comparison at the paper's operating point.
+
+    * 3-replication, one replica per site;
+    * RS(10,4) spread round-robin across sites;
+    * LRC(10,6,5) with one repair group per site.
+    """
+    replication = three_replication()
+    rs = rs_10_4()
+    lrc = xorbas_lrc()
+    rows = [
+        analyze_geo_scheme(
+            replica_per_site(replication, topology),
+            topology,
+            block_size_bytes,
+            name="3-replication",
+        ),
+        analyze_geo_scheme(
+            spread_placement(rs, topology), topology, block_size_bytes, name="RS (10,4)"
+        ),
+        analyze_geo_scheme(
+            group_per_site(lrc, topology),
+            topology,
+            block_size_bytes,
+            name="LRC (10,6,5)",
+        ),
+    ]
+    return rows

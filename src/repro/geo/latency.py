@@ -1,0 +1,105 @@
+"""Read latency across sites: the serving side of the geo argument.
+
+Section 1.1 motivates geo-diversity with "improving latency and
+reliability" [13].  Repair traffic (:mod:`repro.geo.analysis`) covers
+the maintenance side; this module covers serving: a client in one
+region reads data blocks, and every block homed in another region pays
+a WAN round trip plus transfer time.
+
+The three placements behave very differently:
+
+* geo-replication keeps a full copy per site — every read is local;
+* RS spread scatters data blocks round-robin — about 1/sites of reads
+  are local;
+* LRC group-per-site keeps whole *data groups* co-resident, so a
+  client whose working set lives in its local group reads locally, and
+  the systematic layout means no decoding on the read path.
+
+Healthy-path reads only; degraded reads are
+:mod:`repro.cluster.degraded`'s subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codes.replication import ReplicationCode
+from .placement import GeoPlacement
+from .topology import GeoTopology
+
+__all__ = ["ReadLatencyProfile", "read_latency_profile", "data_locality_fraction"]
+
+#: Default inter-region round-trip time (seconds) when the topology's
+#: links carry no explicit latency; ~70 ms is a transcontinental RTT.
+DEFAULT_WAN_RTT = 0.070
+
+
+def data_locality_fraction(placement: GeoPlacement, client_site: str) -> float:
+    """Fraction of *data* blocks homed at the client's site.
+
+    Replication counts a stripe's single logical block as local when
+    any replica is at the client site (reads are served by the nearest
+    copy).
+    """
+    code = placement.code
+    if isinstance(code, ReplicationCode):
+        return 1.0 if client_site in placement.site_of else 0.0
+    data_blocks = range(code.k)
+    local = sum(
+        1 for b in data_blocks if placement.site_of[b] == client_site
+    )
+    return local / code.k
+
+
+@dataclass(frozen=True)
+class ReadLatencyProfile:
+    """Expected healthy-read latency for a client at one site."""
+
+    scheme: str
+    client_site: str
+    local_fraction: float
+    expected_latency: float
+    local_latency: float
+    remote_latency: float
+
+
+def read_latency_profile(
+    placement: GeoPlacement,
+    topology: GeoTopology,
+    client_site: str,
+    block_size_bytes: float = 256e6,
+    local_bandwidth: float = 1e9,  # intra-site, bytes/second
+    wan_rtt: float = DEFAULT_WAN_RTT,
+) -> ReadLatencyProfile:
+    """Expected latency of a uniform random data-block read.
+
+    Local reads cost the intra-site transfer; remote reads add the WAN
+    round trip and stream over the (slower) WAN link.  Uniform access
+    over data blocks is the pessimistic assumption — real geo tenants
+    place working sets with their clients, which only widens the gap in
+    the LRC layout's favour.
+    """
+    topology.site(client_site)  # validate
+    local_fraction = data_locality_fraction(placement, client_site)
+    local_latency = block_size_bytes / local_bandwidth
+    # Remote latency: RTT + transfer over the slowest WAN hop in use.
+    remote_sites = [s for s in placement.sites_used() if s != client_site]
+    if remote_sites:
+        worst = max(
+            topology.transfer_seconds(s, client_site, block_size_bytes)
+            for s in remote_sites
+        )
+        remote_latency = wan_rtt + worst
+    else:
+        remote_latency = local_latency
+    expected = (
+        local_fraction * local_latency + (1 - local_fraction) * remote_latency
+    )
+    return ReadLatencyProfile(
+        scheme=getattr(placement.code, "name", repr(placement.code)),
+        client_site=client_site,
+        local_fraction=local_fraction,
+        expected_latency=expected,
+        local_latency=local_latency,
+        remote_latency=remote_latency,
+    )

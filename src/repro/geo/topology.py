@@ -1,0 +1,127 @@
+"""Geographic topology: data centers joined by wide-area links.
+
+Section 1.1 (reason four) argues that local repair "would be a key in
+facilitating geographically distributed file systems across data
+centers": replication across sites is storage-hungry, and Reed-Solomon
+across sites is "completely impractical due to the high bandwidth
+requirements across wide area networks".  This package quantifies that
+argument.
+
+The topology model is deliberately coarse — what matters for the
+comparison is *which* repairs cross a WAN link and how many bytes they
+move, not packet-level behaviour.  Each site is a well-provisioned
+data center; inter-site transfers share a per-pair WAN bandwidth and
+carry a per-byte dollar cost (egress pricing), both overridable per
+link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DataCenter", "WanLink", "GeoTopology"]
+
+GB = 1e9
+GBPS = 1e9 / 8  # bytes per second
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """One site of the geo-distributed file system."""
+
+    name: str
+    nodes: int = 1000
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("data center needs a name")
+        if self.nodes < 1:
+            raise ValueError("data center needs at least one node")
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """Directed capacity and price of one inter-site path."""
+
+    bandwidth: float  # bytes/second
+    cost_per_byte: float  # dollars/byte
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("WAN bandwidth must be positive")
+        if self.cost_per_byte < 0:
+            raise ValueError("WAN cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class GeoTopology:
+    """A set of data centers with (by default uniform) WAN links.
+
+    ``link_overrides`` maps ordered ``(src, dst)`` name pairs to
+    :class:`WanLink` objects for asymmetric or throttled paths; all
+    other pairs use the uniform defaults.
+    """
+
+    datacenters: tuple[DataCenter, ...]
+    wan_bandwidth: float = 1 * GBPS
+    wan_cost_per_byte: float = 0.02 / GB  # typical inter-region egress
+    link_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.datacenters) < 2:
+            raise ValueError("geo topologies need at least two sites")
+        names = [dc.name for dc in self.datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate data center names in {names}")
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.datacenters)
+
+    @property
+    def site_names(self) -> tuple[str, ...]:
+        return tuple(dc.name for dc in self.datacenters)
+
+    def site(self, name: str) -> DataCenter:
+        for dc in self.datacenters:
+            if dc.name == name:
+                return dc
+        raise KeyError(f"unknown data center {name!r}")
+
+    def link(self, src: str, dst: str) -> WanLink:
+        """The WAN link from ``src`` to ``dst`` (sites must differ)."""
+        if src == dst:
+            raise ValueError("intra-site transfers do not use a WAN link")
+        self.site(src), self.site(dst)  # validate both endpoints
+        override = self.link_overrides.get((src, dst))
+        if override is not None:
+            return override
+        return WanLink(self.wan_bandwidth, self.wan_cost_per_byte)
+
+    def transfer_seconds(self, src: str, dst: str, size_bytes: float) -> float:
+        """Wall time to move ``size_bytes`` between sites (0 intra-site)."""
+        if src == dst:
+            return 0.0
+        return size_bytes / self.link(src, dst).bandwidth
+
+    def transfer_cost(self, src: str, dst: str, size_bytes: float) -> float:
+        """Dollar cost of an inter-site transfer (0 intra-site)."""
+        if src == dst:
+            return 0.0
+        return size_bytes * self.link(src, dst).cost_per_byte
+
+
+def three_region_topology(
+    wan_bandwidth: float = 1 * GBPS, wan_cost_per_byte: float = 0.02 / GB
+) -> GeoTopology:
+    """A canonical three-site deployment (the geo-replication baseline
+    needs exactly three sites; coded schemes reuse the same footprint)."""
+    return GeoTopology(
+        datacenters=(
+            DataCenter("us-east"),
+            DataCenter("us-west"),
+            DataCenter("europe"),
+        ),
+        wan_bandwidth=wan_bandwidth,
+        wan_cost_per_byte=wan_cost_per_byte,
+    )

@@ -1,0 +1,86 @@
+"""Degraded-read availability (Section 4's closing discussion).
+
+With replication a lost block has a live copy instantly; with coded
+storage a read of a lost block must wait for an in-memory reconstruction.
+The paper argues LRC's faster degraded reads yield higher availability
+and leaves the full study as future work; we provide the simple model
+its discussion implies: unavailability ~= (fraction of blocks affected by
+transient failures) * (reconstruction delay per read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codes.analysis import repair_cost_summary
+from ..codes.base import ErasureCode
+from ..codes.replication import ReplicationCode
+
+__all__ = ["AvailabilityEstimate", "degraded_read_delay", "estimate_availability"]
+
+#: Fraction of failure events that are transient (no data loss) — the
+#: figure the paper cites from Ford et al. [9].
+TRANSIENT_FAILURE_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class AvailabilityEstimate:
+    """Availability of reads under a transient-failure regime."""
+
+    scheme: str
+    degraded_read_seconds: float
+    unavailability: float
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.unavailability
+
+    @property
+    def nines(self) -> float:
+        """Availability expressed as a (fractional) count of nines."""
+        import math
+
+        if self.unavailability <= 0:
+            return float("inf")
+        return -math.log10(self.unavailability)
+
+
+def degraded_read_delay(
+    code: ErasureCode, block_size_bytes: float, bandwidth: float
+) -> float:
+    """Seconds to serve a read of one unavailable block.
+
+    Replication redirects to a live copy (no transfer beyond the block
+    itself, modelled as zero extra delay).  Coded schemes download the
+    light-decoder read set — or k blocks when the light decoder cannot
+    run — and reconstruct in memory (Section 1.1, "degraded reads").
+    """
+    if isinstance(code, ReplicationCode):
+        return 0.0
+    reads = repair_cost_summary(code, 1, heavy_reads=code.k).expected_reads
+    return reads * block_size_bytes / bandwidth
+
+
+def estimate_availability(
+    code: ErasureCode,
+    block_size_bytes: float,
+    bandwidth: float,
+    block_unavailable_probability: float = 1e-4,
+    read_timeout_seconds: float = 60.0,
+    name: str | None = None,
+) -> AvailabilityEstimate:
+    """Probability-weighted availability estimate.
+
+    A read is 'unavailable' for the fraction of the timeout window the
+    reconstruction occupies; transient events dominate per [9].
+    """
+    delay = degraded_read_delay(code, block_size_bytes, bandwidth)
+    effective = min(1.0, delay / read_timeout_seconds)
+    unavailability = (
+        TRANSIENT_FAILURE_FRACTION * block_unavailable_probability * effective
+    )
+    return AvailabilityEstimate(
+        scheme=name or getattr(code, "name", repr(code)),
+        degraded_read_seconds=delay,
+        unavailability=unavailability,
+    )

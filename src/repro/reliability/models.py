@@ -1,0 +1,136 @@
+"""Per-scheme Markov reliability models (Section 4).
+
+The transition rates follow the paper's description:
+
+* With i blocks already lost from an n-block stripe, the block-failure
+  rate is ``(n - i) * lambda`` — the surviving blocks sit on distinct
+  nodes, each failing independently at rate ``lambda = 1 / MTTF``.
+* The repair rate from state i is ``1 / repair_time(i)`` where the repair
+  time is the cross-rack transfer of the blocks the decoder downloads:
+  ``reads(i) * B / gamma`` — plus an optional fixed ``repair_epoch``
+  (detection + scheduling latency), which the paper's own derivation
+  omits "due to lack of space" but which is needed to land near its
+  absolute Table 1 values (see EXPERIMENTS.md).
+
+The expected download counts ``reads(i)`` are *not* hand-entered: they
+are computed from the actual code objects' repair planners via
+:func:`repro.codes.analysis.repair_cost_summary`, so the reliability
+model and the cluster simulator can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..codes.analysis import repair_cost_summary
+from ..codes.base import ErasureCode
+from ..codes.replication import ReplicationCode
+from .markov import SECONDS_PER_YEAR, BirthDeathChain
+
+__all__ = ["ClusterReliabilityParameters", "SchemeReliability", "build_chain"]
+
+PB = 1e15
+MB = 1e6
+GBPS = 1e9 / 8  # bytes per second
+
+
+@dataclass(frozen=True)
+class ClusterReliabilityParameters:
+    """The cluster-scale constants of Section 4's analysis."""
+
+    nodes: int = 3000
+    total_data_bytes: float = 30 * PB
+    block_size_bytes: float = 256 * MB
+    node_mttf_seconds: float = 4 * SECONDS_PER_YEAR
+    cross_rack_bandwidth: float = 1 * GBPS  # repair bandwidth gamma
+    repair_epoch_seconds: float = 0.0  # fixed per-repair latency (detection etc.)
+
+    @property
+    def node_failure_rate(self) -> float:
+        return 1.0 / self.node_mttf_seconds
+
+    def num_stripes(self, n: int) -> float:
+        """C / (n B): stripes needed to store the cluster's raw data."""
+        return self.total_data_bytes / (n * self.block_size_bytes)
+
+    def with_repair_epoch(self, seconds: float) -> "ClusterReliabilityParameters":
+        return replace(self, repair_epoch_seconds=seconds)
+
+
+@dataclass(frozen=True)
+class SchemeReliability:
+    """MTTDL results for one storage scheme."""
+
+    name: str
+    storage_overhead: float
+    repair_traffic_blocks: float
+    mttdl_stripe_days: float
+    mttdl_days: float
+    chain: BirthDeathChain
+
+    @property
+    def mttdl_years(self) -> float:
+        return self.mttdl_days / 365.0
+
+
+def _tolerated_failures(code: ErasureCode) -> int:
+    """Erasures before data loss: d - 1 (3-rep: 2, RS(10,4) and LRC: 4)."""
+    distance = code.minimum_distance()  # type: ignore[attr-defined]
+    return distance - 1
+
+
+def expected_reads_per_state(code: ErasureCode, max_lost: int) -> list[float]:
+    """reads(i): expected blocks downloaded to repair one block when i
+    blocks are missing, for i = 1..max_lost.
+
+    Replication always copies one block.  Coded schemes use the exact
+    light/heavy mixture over loss patterns, with the heavy decoder
+    modelled as reading k blocks (the paper's Section 4 treatment).
+    """
+    if isinstance(code, ReplicationCode):
+        return [1.0] * max_lost
+    return [
+        repair_cost_summary(
+            code, lost, heavy_reads=code.k, target="cheapest"
+        ).expected_reads
+        for lost in range(1, max_lost + 1)
+    ]
+
+
+def build_chain(
+    code: ErasureCode, params: ClusterReliabilityParameters
+) -> BirthDeathChain:
+    """Assemble the stripe-level birth-death chain for a scheme."""
+    tolerated = _tolerated_failures(code)
+    lam = params.node_failure_rate
+    failure_rates = tuple((code.n - i) * lam for i in range(tolerated + 1))
+    reads = expected_reads_per_state(code, tolerated)
+    repair_rates = tuple(
+        1.0
+        / (
+            params.repair_epoch_seconds
+            + reads[i] * params.block_size_bytes / params.cross_rack_bandwidth
+        )
+        for i in range(tolerated)
+    )
+    return BirthDeathChain(failure_rates=failure_rates, repair_rates=repair_rates)
+
+
+def analyze_scheme(
+    code: ErasureCode,
+    params: ClusterReliabilityParameters,
+    name: str | None = None,
+) -> SchemeReliability:
+    """Full Table 1 row for one scheme: overhead, traffic, MTTDL."""
+    chain = build_chain(code, params)
+    stripe_days = chain.mttdl_days()
+    system_days = stripe_days / params.num_stripes(code.n)
+    single_loss_reads = expected_reads_per_state(code, 1)[0]
+    return SchemeReliability(
+        name=name or getattr(code, "name", repr(code)),
+        storage_overhead=code.storage_overhead,
+        repair_traffic_blocks=single_loss_reads,
+        mttdl_stripe_days=stripe_days,
+        mttdl_days=system_days,
+        chain=chain,
+    )

@@ -1,0 +1,80 @@
+"""Stationary availability of a repairable stripe.
+
+MTTDL asks how long until the absorbing data-loss state; *availability*
+asks what fraction of time the stripe spends degraded on the way.  On
+availability timescales data loss is negligible (the paper's MTTDLs are
+10^10+ days), so the right object is the *reflecting* birth-death chain
+— the Figure 3 chain with the absorbing transition removed — and its
+stationary distribution, which detailed balance gives in closed form:
+
+    pi_{i+1} / pi_i = lambda_i / rho_i.
+
+``1 - pi_0`` is the fraction of time at least one block of the stripe
+is missing; combined with a per-read degraded penalty it reproduces the
+availability ordering that :mod:`repro.cluster.degraded` measures by
+simulation — the two are cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..codes.base import ErasureCode
+from .markov import BirthDeathChain
+from .models import ClusterReliabilityParameters, build_chain
+
+__all__ = [
+    "stationary_distribution",
+    "stripe_unavailability",
+    "scheme_unavailability",
+]
+
+
+def stationary_distribution(
+    failure_rates: Sequence[float], repair_rates: Sequence[float]
+) -> np.ndarray:
+    """Stationary law of the reflecting birth-death chain.
+
+    ``failure_rates[i]`` drives i -> i+1 for i = 0..d-2 and
+    ``repair_rates[i]`` drives i+1 -> i; the chain has ``d`` states
+    (the absorbing transition of the MTTDL chain is dropped, so the
+    last failure rate of a :class:`BirthDeathChain` is ignored).
+    """
+    if len(repair_rates) != len(failure_rates):
+        raise ValueError(
+            "need matching rate lists (one repair per upward transition)"
+        )
+    if any(r <= 0 for r in repair_rates):
+        raise ValueError("repair rates must be positive for stationarity")
+    if any(f < 0 for f in failure_rates):
+        raise ValueError("failure rates must be non-negative")
+    weights = [1.0]
+    for lam, rho in zip(failure_rates, repair_rates):
+        weights.append(weights[-1] * lam / rho)
+    pi = np.asarray(weights)
+    return pi / pi.sum()
+
+
+def stripe_unavailability(chain: BirthDeathChain) -> float:
+    """Fraction of time a stripe has >= 1 block missing (1 - pi_0).
+
+    Takes the MTTDL chain of Figure 3 and drops its absorbing
+    transition: the reflecting chain's states are 0..d-1 lost blocks.
+    """
+    pi = stationary_distribution(
+        chain.failure_rates[:-1], chain.repair_rates
+    )
+    return float(1.0 - pi[0])
+
+
+def scheme_unavailability(
+    code: ErasureCode,
+    params: ClusterReliabilityParameters | None = None,
+) -> float:
+    """Stationary degraded-time fraction for one scheme at the paper's
+    operating point — the analytic counterpart of the degraded-read
+    simulation's ``degraded_fraction``."""
+    params = params or ClusterReliabilityParameters()
+    return stripe_unavailability(build_chain(code, params))

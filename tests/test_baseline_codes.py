@@ -1,0 +1,260 @@
+"""Tests for the related-work baselines: Pyramid codes and SRC.
+
+These are the two families the paper's Section 6 positions LRC against:
+pyramid codes trade distance bookkeeping for data-block locality but
+leave global parities heavy to repair; simple regenerating codes buy
+2-block repairs with 1.5x the MDS storage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import DecodingError, certify_distance, xorbas_lrc
+from repro.codes.pyramid import PyramidCode, pyramid_10_4
+from repro.codes.simple_regenerating import SimpleRegeneratingCode
+from repro.galois import GF16, GF256
+
+
+class TestPyramidStructure:
+    def test_paper_point_parameters(self):
+        code = pyramid_10_4()
+        assert code.k == 10
+        assert code.n == 15  # 10 data + 2 group parities + 3 globals
+        assert code.num_groups == 2
+        assert code.num_globals == 3
+        assert code.storage_overhead == pytest.approx(0.5)
+
+    def test_distance_is_five(self):
+        """Same distance as LRC(10,6,5) with one block less storage."""
+        code = pyramid_10_4()
+        assert code.minimum_distance() == 5
+        certify_distance(code, 5)
+
+    def test_group_parities_sum_to_split_parity(self):
+        code = pyramid_10_4()
+        split_column = code.precode.generator[:, 10]
+        summed = np.bitwise_xor(
+            code.generator[:, code.group_parity_index(0)],
+            code.generator[:, code.group_parity_index(1)],
+        )
+        np.testing.assert_array_equal(summed, split_column)
+
+    def test_data_blocks_have_locality_five(self):
+        code = pyramid_10_4()
+        assert code.data_locality() == 5
+        for block in range(code.k):
+            plans = code.repair_plans(block)
+            assert plans and min(p.num_reads for p in plans) == 5
+
+    def test_group_parities_have_local_plans(self):
+        code = pyramid_10_4()
+        for group in range(code.num_groups):
+            plans = code.repair_plans(code.group_parity_index(group))
+            assert plans
+            assert plans[0].num_reads == 5
+
+    def test_global_parities_have_no_light_plans(self):
+        """The pyramid weakness the LRC's implied parity removes."""
+        code = pyramid_10_4()
+        for block in range(code.k + code.num_groups, code.n):
+            assert code.repair_plans(block) == []
+
+    def test_light_repair_reconstructs_payload(self):
+        code = pyramid_10_4()
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, size=(10, 32)).astype(np.uint8)
+        coded = code.encode(data)
+        for lost in range(code.k + code.num_groups):
+            available = {i: coded[i] for i in range(code.n) if i != lost}
+            rebuilt = code.repair(lost, available)
+            np.testing.assert_array_equal(rebuilt, coded[lost])
+
+    def test_plans_are_not_pure_xor(self):
+        """Pyramid repairs pay field multiplications, unlike Xorbas."""
+        code = pyramid_10_4()
+        plans = [p for block in range(code.k) for p in code.repair_plans(block)]
+        assert any(not p.is_xor_only() for p in plans)
+
+    def test_any_four_erasures_decodable(self):
+        code = pyramid_10_4()
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 256, size=(10, 8)).astype(np.uint8)
+        coded = code.encode(data)
+        erased = (0, 5, 11, 14)
+        available = {i: coded[i] for i in range(code.n) if i not in erased}
+        np.testing.assert_array_equal(code.decode(available), data)
+
+    def test_parameters_flag_non_uniform_locality(self):
+        params = pyramid_10_4().parameters()
+        assert params.extra["uniform_locality"] is False
+        assert params.extra["unlocal_blocks"] == 3
+
+    def test_storage_vs_lrc(self):
+        """The head-to-head of Section 6: one block cheaper, worse locality coverage."""
+        pyramid = pyramid_10_4()
+        lrc = xorbas_lrc()
+        assert pyramid.n == lrc.n - 1
+        assert pyramid.minimum_distance() == lrc.minimum_distance()
+        # LRC covers all blocks with light plans; pyramid does not.
+        assert all(lrc.repair_plans(i) for i in range(lrc.n))
+        assert not all(pyramid.repair_plans(i) for i in range(pyramid.n))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PyramidCode(10, 1, 5)  # needs >= 2 globals
+        with pytest.raises(ValueError):
+            PyramidCode(10, 4, 0)
+        with pytest.raises(ValueError):
+            PyramidCode(10, 4, 11)
+
+    def test_group_lookup_helpers(self):
+        code = pyramid_10_4()
+        assert code.group_of_data_block(0) == 0
+        assert code.group_of_data_block(9) == 1
+        with pytest.raises(ValueError):
+            code.group_of_data_block(10)
+        with pytest.raises(ValueError):
+            code.group_parity_index(2)
+
+    def test_small_instance_exhaustive(self):
+        """A fully enumerable instance over GF(16)."""
+        code = PyramidCode(4, 2, 2, field=GF16)
+        assert code.n == 4 + 2 + 1
+        d = code.minimum_distance()
+        certify_distance(code, d)
+        assert d >= 2
+
+
+class TestSRCStructure:
+    def test_parameters_at_paper_point(self):
+        src = SimpleRegeneratingCode(14, 10)
+        assert src.storage_overhead == pytest.approx(3 * 14 / 20 - 1)
+        assert src.node_distance == 5
+        assert src.repair_subsymbols == 6
+        assert src.repair_block_equivalent == pytest.approx(3.0)
+
+    def test_encode_shapes_and_systematic_x(self):
+        src = SimpleRegeneratingCode(7, 4, field=GF256)
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=(8, 16)).astype(np.uint8)
+        storage = src.encode(data)
+        assert len(storage) == 7
+        # x_i for i < k are the first-half data sub-blocks (systematic RS).
+        for i in range(4):
+            np.testing.assert_array_equal(storage[i][0], data[i])
+
+    def test_s_subsymbols_are_xor_of_halves(self):
+        src = SimpleRegeneratingCode(6, 3, field=GF256)
+        rng = np.random.default_rng(8)
+        data = rng.integers(0, 256, size=(6, 8)).astype(np.uint8)
+        storage = src.encode(data)
+        x = src.precode.encode(data[:3])
+        y = src.precode.encode(data[3:])
+        for i in range(6):
+            np.testing.assert_array_equal(storage[i][2], x[(i + 2) % 6] ^ y[(i + 2) % 6])
+
+    @given(st.integers(min_value=0, max_value=13))
+    @settings(max_examples=14, deadline=None)
+    def test_repair_reads_six_subsymbols_from_four_helpers(self, lost):
+        src = SimpleRegeneratingCode(14, 10)
+        reads = src.repair_reads(lost)
+        assert len(reads) == 6
+        helpers = src.helper_nodes(lost)
+        assert len(helpers) == 4
+        assert lost not in helpers
+
+    def test_repair_node_reconstructs_exact_triple(self):
+        src = SimpleRegeneratingCode(7, 4, field=GF256)
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 256, size=(8, 32)).astype(np.uint8)
+        storage = src.encode(data)
+        for lost in range(7):
+            rebuilt = src.repair_node(lost, storage)
+            for got, want in zip(rebuilt, storage[lost]):
+                np.testing.assert_array_equal(got, want)
+
+    def test_decode_from_any_k_nodes(self):
+        src = SimpleRegeneratingCode(6, 3, field=GF256)
+        rng = np.random.default_rng(10)
+        data = rng.integers(0, 256, size=(6, 8)).astype(np.uint8)
+        storage = src.encode(data)
+        from itertools import combinations
+
+        for survivors in combinations(range(6), 3):
+            available = {i: storage[i] for i in survivors}
+            np.testing.assert_array_equal(src.decode(available), data)
+
+    def test_decode_uses_s_peeling_when_helpful(self):
+        """Survivor sets of size < k can still decode thanks to s symbols
+        resolving extra x/y — but below the information-theoretic floor
+        decoding must fail."""
+        src = SimpleRegeneratingCode(6, 3, field=GF256)
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, size=(6, 8)).astype(np.uint8)
+        storage = src.encode(data)
+        # Two survivors hold 6 sub-symbols = 3 block-equivalents = file
+        # size, but never enough *distinct per-half* symbols: x from two
+        # nodes + at most one s-peel = 3 x-symbols only if indices align.
+        with pytest.raises(DecodingError):
+            src.decode({0: storage[0]})
+
+    def test_decode_rejects_bad_node_index(self):
+        src = SimpleRegeneratingCode(6, 3, field=GF256)
+        rng = np.random.default_rng(12)
+        data = rng.integers(0, 256, size=(6, 4)).astype(np.uint8)
+        storage = src.encode(data)
+        with pytest.raises(ValueError):
+            src.decode({6: storage[0], 0: storage[0], 1: storage[1]})
+
+    def test_tolerates_node_distance_minus_one_failures(self):
+        src = SimpleRegeneratingCode(7, 4, field=GF256)
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        storage = src.encode(data)
+        # Kill d - 1 = 3 nodes; any such pattern must decode.
+        from itertools import combinations
+
+        for dead in combinations(range(7), 3):
+            available = {i: storage[i] for i in range(7) if i not in dead}
+            np.testing.assert_array_equal(src.decode(available), data)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleRegeneratingCode(4, 4)
+        with pytest.raises(ValueError):
+            SimpleRegeneratingCode(2, 1)
+        with pytest.raises(ValueError):
+            SimpleRegeneratingCode(14, 10).repair_reads(14)
+
+    def test_encode_shape_validation(self):
+        src = SimpleRegeneratingCode(6, 3, field=GF256)
+        with pytest.raises(ValueError):
+            src.encode(np.zeros((5, 4), dtype=np.uint8))
+
+    def test_node_payload_bytes(self):
+        src = SimpleRegeneratingCode(14, 10)
+        assert src.node_payload_bytes(256.0) == pytest.approx(384.0)
+
+
+class TestTradeoffTriangle:
+    """The three-way comparison the paper's Section 6 narrates."""
+
+    def test_repair_cost_ordering(self):
+        """SRC < LRC < RS in repair download at the (10, 14-16) point."""
+        src = SimpleRegeneratingCode(14, 10)
+        lrc = xorbas_lrc()
+        lrc_reads = min(p.num_reads for p in lrc.repair_plans(0))
+        assert src.repair_block_equivalent < lrc_reads < 10
+
+    def test_storage_cost_ordering(self):
+        """RS < LRC < SRC < replication in storage overhead."""
+        src = SimpleRegeneratingCode(14, 10)
+        lrc = xorbas_lrc()
+        assert 0.4 < lrc.storage_overhead < src.storage_overhead < 2.0
+
+    def test_pyramid_sits_between_rs_and_lrc_in_storage(self):
+        pyramid = pyramid_10_4()
+        lrc = xorbas_lrc()
+        assert 0.4 < pyramid.storage_overhead < lrc.storage_overhead

@@ -1,0 +1,117 @@
+"""Tests for the information-theoretic bounds (Section 2, Appendix B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    locality_distance_bound,
+    lrc_distance,
+    mds_locality_lower_bound,
+    overlapping_groups_distance_bound,
+    rlnc_field_size_bound,
+    rlnc_success_probability,
+    singleton_bound,
+    theorem1_parameters,
+)
+
+
+class TestSingleton:
+    def test_rs_10_4(self):
+        assert singleton_bound(14, 10) == 5
+
+    def test_replication(self):
+        assert singleton_bound(3, 1) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            singleton_bound(4, 5)
+        with pytest.raises(ValueError):
+            singleton_bound(4, 0)
+
+
+class TestLocalityDistanceBound:
+    def test_reduces_to_singleton_at_r_equals_k(self):
+        for n, k in [(14, 10), (10, 6), (6, 3)]:
+            assert locality_distance_bound(n, k, k) == singleton_bound(n, k)
+
+    def test_paper_example(self):
+        # (16, 10) with r = 5: generic bound 6, refined (overlap) bound 5.
+        assert locality_distance_bound(16, 10, 5) == 6
+        assert overlapping_groups_distance_bound(16, 10, 5) == 5
+
+    def test_overlap_refinement_matches_generic_when_groups_fit(self):
+        # (r + 1) | n: no refinement.
+        assert overlapping_groups_distance_bound(12, 6, 3) == locality_distance_bound(
+            12, 6, 3
+        )
+
+    def test_smaller_locality_costs_distance(self):
+        n, k = 20, 12
+        distances = [locality_distance_bound(n, k, r) for r in range(1, k + 1)]
+        assert distances == sorted(distances)
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError):
+            locality_distance_bound(10, 5, 0)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=100)
+    def test_never_exceeds_singleton(self, k, parity, r):
+        n = k + parity
+        assert locality_distance_bound(n, k, r) <= singleton_bound(n, k)
+
+    def test_lrc_distance_alias(self):
+        assert lrc_distance(16, 10, 5) == locality_distance_bound(16, 10, 5)
+
+    def test_mds_locality(self):
+        assert mds_locality_lower_bound(10) == 10
+
+
+class TestTheorem1:
+    def test_logarithmic_locality(self):
+        params = theorem1_parameters(1024)
+        assert params.r == 10  # log2(1024)
+
+    def test_delta_k(self):
+        params = theorem1_parameters(64)
+        assert params.delta_k == pytest.approx(1 / 6 - 1 / 64)
+
+    def test_distance_ratio_tends_to_one(self):
+        """Corollary 1: d_LRC / d_MDS -> 1 as k grows at fixed rate.
+
+        Convergence is O(1 / log k), so the ratio climbs slowly; we check
+        monotone growth plus agreement with the analytic rate
+        1 - (1/log2 k) / (1/R - 1) + o(1).
+        """
+        ks = (16, 64, 256, 1024, 4096)
+        ratios = [theorem1_parameters(k).distance_ratio for k in ks]
+        assert all(0 < ratio <= 1.0 + 1e-9 for ratio in ratios)
+        assert ratios == sorted(ratios)
+        rate = 10 / 14
+        analytic = 1 - (1 / math.log2(ks[-1])) / (1 / rate - 1)
+        assert ratios[-1] == pytest.approx(analytic, abs=0.05)
+        assert ratios[-1] > 0.8
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(ValueError):
+            theorem1_parameters(1)
+
+
+class TestRlncBounds:
+    def test_field_size_bound(self):
+        assert rlnc_field_size_bound(16, 10, 5) == math.comb(16, 11)
+
+    def test_success_probability_monotone_in_q(self):
+        p_small = rlnc_success_probability(2**8, num_sinks=100, num_coding_links=16)
+        p_large = rlnc_success_probability(2**16, num_sinks=100, num_coding_links=16)
+        assert 0.0 <= p_small <= p_large <= 1.0
+
+    def test_success_probability_zero_for_tiny_field(self):
+        assert rlnc_success_probability(8, num_sinks=100, num_coding_links=4) == 0.0

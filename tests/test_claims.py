@@ -1,0 +1,64 @@
+"""Tests for the paper-claims ledger: every claim must hold or be a
+documented known delta."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.claims import (
+    check_all_claims,
+    paper_claims,
+    render_claims,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {r.claim.id: r for r in check_all_claims()}
+
+
+class TestLedger:
+    def test_every_claim_holds(self, results):
+        failing = [cid for cid, r in results.items() if not r.holds]
+        assert not failing, f"claims regressed: {failing}"
+
+    def test_claim_ids_unique(self):
+        ids = [c.id for c in paper_claims()]
+        assert len(ids) == len(set(ids))
+
+    def test_expected_claims_present(self, results):
+        for cid in (
+            "storage-14pct",
+            "repair-2x",
+            "bytes-41-52",
+            "d5-optimal",
+            "locality-all-16",
+            "xor-only",
+            "implied-parity",
+            "mttdl-ordering",
+            "mttdl-zeros",
+            "degraded-2x",
+            "archival-flat",
+        ):
+            assert cid in results
+
+    def test_known_delta_flagged(self, results):
+        assert results["mttdl-zeros"].claim.known_delta
+        assert results["mttdl-zeros"].status == "delta"
+        assert results["storage-14pct"].status == "yes"
+
+    def test_storage_claim_measures_one_seventh(self, results):
+        assert results["storage-14pct"].measured == "14.3%"
+
+    def test_render_includes_delta_notes(self):
+        text = render_claims()
+        assert "Known deltas" in text
+        assert "repair-rate constants unpublished" in text
+        assert "NO" not in text.replace("NO\n", "NO\n")  # no failing rows
+        # Every claim id appears.
+        for claim in paper_claims():
+            assert claim.id in text
+
+    def test_cli_command_exits_zero(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "claims ledger" in out.lower()

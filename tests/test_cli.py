@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["ec2"])
+        assert args.files == 20
+        assert args.nodes == 50
+
+
+class TestCommands:
+    def test_certify(self, capsys):
+        assert main(["certify"]) == 0
+        out = capsys.readouterr().out
+        assert "distance d = 5" in out
+        assert "locality r = 5" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "3-replication" in out
+        assert "LRC (10,6,5)" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--days", "7", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "day  7" in out
+
+    def test_ec2_small(self, capsys):
+        assert main(["ec2", "--files", "4", "--nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "HDFS-RS" in out and "HDFS-Xorbas" in out
+
+    def test_facebook_small(self, capsys):
+        assert main(["facebook", "--files", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "20% missing" in out

@@ -1,0 +1,129 @@
+"""Tests for the deterministic LRC construction and alignment search."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    ReedSolomonCode,
+    certify_distance,
+    lrc_distance,
+    random_lrc,
+    rs_10_4,
+)
+from repro.codes.construction import (
+    deterministic_lrc,
+    find_alignment_coefficients,
+    nonzero_nullspace_vector,
+    xor_alignment_holds,
+)
+from repro.galois import GF16, GF256, gf_matmul
+
+
+class TestDeterministicLRC:
+    def test_small_instance_achieves_bound(self):
+        code = deterministic_lrc(4, 6, 2, field=GF256)
+        target = lrc_distance(6, 4, 2)
+        assert code.minimum_distance() == target
+        certify_distance(code, target)
+
+    def test_locality_structure_enforced(self):
+        code = deterministic_lrc(4, 6, 2, field=GF256)
+        for block in range(code.n):
+            plans = code.repair_plans(block)
+            assert plans
+            assert min(p.num_reads for p in plans) == 2
+
+    def test_determinism(self):
+        a = deterministic_lrc(4, 6, 2, field=GF256)
+        b = deterministic_lrc(4, 6, 2, field=GF256)
+        np.testing.assert_array_equal(a.generator, b.generator)
+
+    def test_matches_randomized_construction_parameters(self):
+        det = deterministic_lrc(4, 6, 2, field=GF256)
+        rand = random_lrc(4, 6, 2, field=GF256)
+        assert det.minimum_distance() == rand.minimum_distance()
+        assert det.locality() == rand.locality()
+
+    def test_group_divisibility_required(self):
+        with pytest.raises(ValueError):
+            deterministic_lrc(4, 7, 2)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_lrc(5, 6, 2)  # bound gives d < 2
+        with pytest.raises(ValueError):
+            deterministic_lrc(6, 6, 2)  # k == n
+
+    def test_pool_exhaustion_reported(self):
+        # GF(16) has only 15 candidate columns; demanding 16 free
+        # columns must fail loudly, not loop forever.
+        with pytest.raises(ValueError):
+            deterministic_lrc(4, 24, 2, field=GF16)
+
+    def test_gf16_pool_suffices_for_stripe_scale(self):
+        # A full-pool selection over the small field still achieves the
+        # bound — the Vandermonde pool is near-generic.
+        code = deterministic_lrc(12, 18, 5, field=GF16, max_candidates=15)
+        assert code.minimum_distance() == lrc_distance(18, 12, 5)
+
+    def test_encode_decode_roundtrip(self):
+        code = deterministic_lrc(4, 6, 2, field=GF256)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=(4, 16)).astype(np.uint8)
+        coded = code.encode(data)
+        survivors = {i: coded[i] for i in range(6) if i not in (1, 4)}
+        np.testing.assert_array_equal(code.decode(survivors), data)
+
+
+class TestAlignment:
+    def test_rs_generator_xor_aligns(self):
+        """Appendix D: every RS codeword's symbols XOR to zero."""
+        code = rs_10_4()
+        assert xor_alignment_holds(code.field, code.generator)
+
+    def test_rs_alignment_coefficients_are_all_ones(self):
+        code = rs_10_4()
+        coeffs = find_alignment_coefficients(code.field, code.generator)
+        assert coeffs is not None
+        assert np.all(coeffs == 1)
+
+    def test_alignment_coefficients_satisfy_identity(self):
+        code = ReedSolomonCode(6, 3, field=GF256)
+        coeffs = find_alignment_coefficients(code.field, code.generator)
+        assert coeffs is not None
+        combo = gf_matmul(code.field, code.generator, coeffs.reshape(-1, 1))
+        assert not np.any(combo)
+
+    def test_misaligned_generator_gets_nontrivial_coefficients(self):
+        """Scaling one RS column breaks ci=1 alignment; the null-space
+        search must still find non-zero coefficients."""
+        field = GF256
+        code = ReedSolomonCode(4, 3, field=field)
+        generator = code.generator.copy()
+        generator[:, 2] = field.scale(5, generator[:, 2])
+        assert not xor_alignment_holds(field, generator)
+        coeffs = find_alignment_coefficients(field, generator)
+        assert coeffs is not None
+        assert np.all(coeffs != 0)
+        combo = gf_matmul(field, generator, coeffs.reshape(-1, 1))
+        assert not np.any(combo)
+
+    def test_full_rank_square_matrix_has_no_alignment(self):
+        """Trivial null space -> alignment impossible -> None."""
+        field = GF16
+        identity = np.eye(4, dtype=field.dtype)
+        assert nonzero_nullspace_vector(field, identity) is None
+        assert find_alignment_coefficients(field, identity) is None
+
+    def test_nullspace_vector_avoids_zero_entries(self):
+        """A null space whose basis rows each contain zeros forces the
+        combination search to run."""
+        field = GF16
+        # 2x4 matrix with a 2-D null space; basis vectors from rref will
+        # have zeros in the pivot positions of each other.
+        matrix = np.array([[1, 0, 1, 0], [0, 1, 0, 1]], dtype=field.dtype)
+        vec = nonzero_nullspace_vector(field, matrix)
+        assert vec is not None
+        assert np.all(vec != 0)
+        combo = gf_matmul(field, matrix, vec.reshape(-1, 1))
+        assert not np.any(combo)

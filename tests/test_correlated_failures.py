@@ -1,0 +1,148 @@
+"""Tests for the correlated rack-burst failure model."""
+
+import numpy as np
+import pytest
+
+from repro.codes import rs_10_4, three_replication, xorbas_lrc
+from repro.reliability.correlated import (
+    burst_loss_probability,
+    compare_burst_survival,
+    place_stripe_racks,
+)
+
+
+class TestPlacement:
+    def test_rack_aware_all_distinct(self):
+        rng = np.random.default_rng(0)
+        racks = place_stripe_racks(16, 20, 10, rack_aware=True, rng=rng)
+        assert len(set(racks.tolist())) == 16
+
+    def test_rack_aware_needs_enough_racks(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            place_stripe_racks(16, 10, 10, rack_aware=True, rng=rng)
+
+    def test_oblivious_can_collide(self):
+        """With few racks, collisions must actually happen."""
+        rng = np.random.default_rng(2)
+        racks = place_stripe_racks(16, 4, 10, rack_aware=False, rng=rng)
+        assert len(set(racks.tolist())) < 16
+
+    def test_oblivious_needs_enough_nodes(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            place_stripe_racks(16, 3, 5, rack_aware=False, rng=rng)
+
+
+class TestSingleBurst:
+    def test_rack_aware_single_burst_is_never_fatal(self):
+        """One rack = at most one block per stripe: any d >= 2 survives."""
+        for code in (three_replication(), rs_10_4(), xorbas_lrc()):
+            estimate = burst_loss_probability(
+                code, rack_aware=True, trials=500, seed=4
+            )
+            assert estimate.loss_probability == 0.0
+            assert estimate.mean_blocks_erased <= 1.0 + 1e-9
+
+    def test_oblivious_placement_on_few_racks_loses_data(self):
+        """Cramming a 14-block stripe onto 3 racks makes a single rack
+        burst frequently erase > 4 blocks."""
+        estimate = burst_loss_probability(
+            rs_10_4(),
+            num_racks=3,
+            nodes_per_rack=6,
+            rack_aware=False,
+            trials=500,
+            seed=5,
+        )
+        assert estimate.loss_probability > 0.5
+        assert estimate.mean_blocks_erased > 4
+
+    def test_oblivious_on_many_racks_is_mostly_safe(self):
+        estimate = burst_loss_probability(
+            rs_10_4(),
+            num_racks=50,
+            nodes_per_rack=20,
+            rack_aware=False,
+            trials=500,
+            seed=6,
+        )
+        assert estimate.loss_probability < 0.05
+
+    def test_placement_dominates_code_strength(self):
+        """The [9] lesson: rack-aware placement beats a stronger code on
+        a collision-prone topology."""
+        aware_weak = burst_loss_probability(
+            three_replication(),
+            num_racks=3,
+            nodes_per_rack=6,
+            rack_aware=True,
+            trials=400,
+            seed=7,
+        )
+        oblivious_strong = burst_loss_probability(
+            rs_10_4(),
+            num_racks=3,
+            nodes_per_rack=6,
+            rack_aware=False,
+            trials=400,
+            seed=7,
+        )
+        assert aware_weak.loss_probability == 0.0
+        assert oblivious_strong.loss_probability > 0.5
+
+
+class TestMultiBurst:
+    def test_distance_separates_schemes_under_double_burst(self):
+        """Two simultaneous rack bursts under rack-aware placement: the
+        3-replica stripe (d=3) can die, the coded stripes (d=5) cannot
+        lose data from only two erased blocks."""
+        repl = burst_loss_probability(
+            three_replication(),
+            num_racks=6,
+            rack_aware=True,
+            racks_failing=3,
+            trials=800,
+            seed=8,
+        )
+        rs = burst_loss_probability(
+            rs_10_4(),
+            num_racks=16,
+            rack_aware=True,
+            racks_failing=3,
+            trials=800,
+            seed=8,
+        )
+        assert repl.loss_probability > 0.0
+        assert rs.loss_probability == 0.0  # 3 erasures < d = 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_loss_probability(rs_10_4(), racks_failing=0)
+        with pytest.raises(ValueError):
+            burst_loss_probability(rs_10_4(), racks_failing=99)
+        with pytest.raises(ValueError):
+            burst_loss_probability(rs_10_4(), trials=0)
+
+
+class TestComparison:
+    def test_rows_cover_both_placements(self):
+        rows = compare_burst_survival(
+            [rs_10_4(), xorbas_lrc()], trials=200, seed=9
+        )
+        assert len(rows) == 4
+        placements = {(r.scheme, r.placement) for r in rows}
+        assert ("RS(10,4)", "rack-aware") in placements
+        assert ("LRC(10,6,5)", "oblivious") in placements
+
+    def test_survival_probability_complements_loss(self):
+        rows = compare_burst_survival([rs_10_4()], trials=100, seed=10)
+        for row in rows:
+            assert row.survival_probability == pytest.approx(
+                1.0 - row.loss_probability
+            )
+
+    def test_deterministic_given_seed(self):
+        a = burst_loss_probability(xorbas_lrc(), trials=300, seed=11)
+        b = burst_loss_probability(xorbas_lrc(), trials=300, seed=11)
+        assert a == b

@@ -1,0 +1,156 @@
+"""Tests for syndrome-based corruption location and correction (PGZ)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import DecodingError, ReedSolomonCode, rs_10_4
+from repro.codes.errors import (
+    correct_corruption,
+    locate_corrupt_blocks,
+    max_correctable_corruptions,
+    pgz_locate_column,
+)
+from repro.galois import GF16, GF256
+
+
+def corrupt(coded: np.ndarray, blocks, rng) -> np.ndarray:
+    """Overwrite whole blocks with fresh random bytes (guaranteed changed)."""
+    received = coded.copy()
+    for j in blocks:
+        noise = rng.integers(1, 256, size=coded.shape[1]).astype(np.uint8)
+        received[j] = coded[j] ^ noise  # xor with non-zero => every byte moves
+    return received
+
+
+@pytest.fixture(scope="module")
+def stripe():
+    code = rs_10_4()
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(10, 64)).astype(np.uint8)
+    return code, data, code.encode(data)
+
+
+class TestLocation:
+    def test_clean_stripe_locates_nothing(self, stripe):
+        code, _, coded = stripe
+        assert locate_corrupt_blocks(code, coded) == []
+
+    def test_single_corrupt_block_located(self, stripe):
+        code, _, coded = stripe
+        rng = np.random.default_rng(1)
+        for victim in (0, 5, 9, 10, 13):  # data and parity positions
+            received = corrupt(coded, [victim], rng)
+            assert locate_corrupt_blocks(code, received) == [victim]
+
+    def test_two_corrupt_blocks_located(self, stripe):
+        code, _, coded = stripe
+        rng = np.random.default_rng(2)
+        received = corrupt(coded, [2, 11], rng)
+        assert locate_corrupt_blocks(code, received) == [2, 11]
+
+    def test_capacity(self, stripe):
+        code, _, _ = stripe
+        assert max_correctable_corruptions(code) == 2
+        assert max_correctable_corruptions(ReedSolomonCode(10, 6)) == 3
+
+    def test_three_corruptions_detected_as_uncorrectable(self, stripe):
+        """Beyond floor(m/2): must refuse, not hallucinate positions."""
+        code, _, coded = stripe
+        rng = np.random.default_rng(3)
+        received = corrupt(coded, [1, 6, 12], rng)
+        with pytest.raises(DecodingError):
+            locate_corrupt_blocks(code, received)
+
+    def test_shape_validation(self, stripe):
+        code, _, coded = stripe
+        with pytest.raises(ValueError):
+            locate_corrupt_blocks(code, coded[:5])
+        with pytest.raises(ValueError):
+            pgz_locate_column(code, np.zeros(3, dtype=np.uint8))
+
+    def test_column_probe_union(self, stripe):
+        """A corruption that zeroes some columns' errors is still found
+        through other probe columns."""
+        code, _, coded = stripe
+        received = coded.copy()
+        # Corrupt block 4 in only half its bytes: probed clean columns
+        # must not mask the dirty ones.
+        received[4, ::2] ^= 0xA5
+        assert locate_corrupt_blocks(code, received) == [4]
+
+
+class TestCorrection:
+    def test_corrects_single_block(self, stripe):
+        code, data, coded = stripe
+        rng = np.random.default_rng(4)
+        received = corrupt(coded, [7], rng)
+        corrected, found = correct_corruption(code, received)
+        assert found == [7]
+        np.testing.assert_array_equal(corrected, coded)
+
+    def test_corrects_two_blocks_including_parity(self, stripe):
+        code, data, coded = stripe
+        rng = np.random.default_rng(5)
+        received = corrupt(coded, [0, 12], rng)
+        corrected, found = correct_corruption(code, received)
+        assert found == [0, 12]
+        np.testing.assert_array_equal(corrected, coded)
+        np.testing.assert_array_equal(corrected[:10], data)
+
+    def test_clean_stripe_roundtrips(self, stripe):
+        code, _, coded = stripe
+        corrected, found = correct_corruption(code, coded)
+        assert found == []
+        np.testing.assert_array_equal(corrected, coded)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=13), min_size=1, max_size=2),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_correctable_pattern_roundtrips(self, victims, seed):
+        code = rs_10_4()
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=(10, 16)).astype(np.uint8)
+        coded = code.encode(data)
+        received = corrupt(coded, sorted(victims), rng)
+        corrected, found = correct_corruption(code, received)
+        assert found == sorted(victims)
+        np.testing.assert_array_equal(corrected, coded)
+
+    def test_small_field_code(self):
+        """PGZ over GF(16) with an RS(4, 4) code (t = 2)."""
+        code = ReedSolomonCode(4, 4, field=GF16)
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 16, size=(4, 32)).astype(np.uint8)
+        coded = code.encode(data)
+        received = coded.copy()
+        received[1] ^= 0x7  # single-block corruption
+        received[6] ^= 0x3
+        corrected, found = correct_corruption(code, received)
+        assert found == [1, 6]
+        np.testing.assert_array_equal(corrected, coded)
+
+
+class TestAgainstChecksumFreeDetection:
+    def test_data_block_corruption_invisible_to_systematic_reads(self, stripe):
+        """Motivation: a flipped data block still 'reads fine' without
+        checksums — only the parity equations expose it."""
+        code, data, coded = stripe
+        rng = np.random.default_rng(7)
+        received = corrupt(coded, [3], rng)
+        # The corrupted block is a plausible byte array...
+        assert received[3].shape == coded[3].shape
+        # ...but the syndromes are loud.
+        assert np.any(code.syndromes(received))
+
+    def test_syndromes_linear_in_error(self, stripe):
+        code, _, coded = stripe
+        error = np.zeros_like(coded)
+        error[5, :] = 0x11
+        received = coded ^ error
+        np.testing.assert_array_equal(
+            code.syndromes(received), code.syndromes(error)
+        )

@@ -1,0 +1,108 @@
+"""Tests for the CSV/JSON experiment exporters."""
+
+import csv
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.baselines import compare_baselines
+from repro.experiments.export import (
+    export_all,
+    export_csv,
+    export_json,
+    rows_to_dicts,
+)
+from repro.experiments.tradeoff import locality_sweep
+
+
+@dataclass(frozen=True)
+class FakeRow:
+    name: str
+    value: float
+    flag: bool
+    blob: object = None
+
+    @property
+    def doubled(self) -> float:
+        return 2 * self.value
+
+
+ROWS = [FakeRow("a", 1.0, True), FakeRow("b", 2.5, False)]
+
+
+class TestRowFlattening:
+    def test_scalar_fields_kept_nonscalar_skipped(self):
+        records = rows_to_dicts([FakeRow("x", 1.0, True, blob=[1, 2])])
+        assert records[0] == {"name": "x", "value": 1.0, "flag": True}
+
+    def test_properties_included_on_request(self):
+        records = rows_to_dicts(ROWS, properties=("doubled",))
+        assert records[0]["doubled"] == 2.0
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_dicts([{"not": "a dataclass"}])
+
+    def test_non_scalar_property_rejected(self):
+        @dataclass
+        class Bad:
+            x: int = 1
+
+            @property
+            def stuff(self):
+                return [1, 2]
+
+        with pytest.raises(TypeError):
+            rows_to_dicts([Bad()], properties=("stuff",))
+
+
+class TestFileFormats:
+    def test_csv_roundtrip(self, tmp_path):
+        path = export_csv(ROWS, tmp_path / "rows.csv")
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert [r["name"] for r in back] == ["a", "b"]
+        assert float(back[1]["value"]) == 2.5
+
+    def test_json_roundtrip(self, tmp_path):
+        path = export_json(ROWS, tmp_path / "rows.json", properties=("doubled",))
+        back = json.loads(path.read_text())
+        assert back[0]["doubled"] == 2.0
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_csv([], tmp_path / "empty.csv")
+
+    def test_nested_directories_created(self, tmp_path):
+        path = export_csv(ROWS, tmp_path / "deep" / "down" / "rows.csv")
+        assert path.exists()
+
+
+class TestRealHarnesses:
+    def test_baselines_export(self, tmp_path):
+        path = export_csv(compare_baselines(), tmp_path / "baselines.csv")
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert len(back) == 5
+        assert "storage_overhead" in back[0]
+
+    def test_tradeoff_export(self, tmp_path):
+        path = export_json(locality_sweep(), tmp_path / "tradeoff.json")
+        back = json.loads(path.read_text())
+        assert back[-1]["scheme"] == "RS(10,4)"
+
+    def test_export_all(self, tmp_path):
+        written = export_all(tmp_path, seed=1)
+        assert len(written) == 5
+        names = {p.name for p in written}
+        assert names == {
+            "baselines.csv",
+            "geo_wan.csv",
+            "archival.csv",
+            "tradeoff.csv",
+            "table1.csv",
+        }
+        for path in written:
+            with open(path) as handle:
+                assert len(list(csv.DictReader(handle))) >= 3

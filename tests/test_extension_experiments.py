@@ -1,0 +1,151 @@
+"""Tests for the extension experiment harnesses and their CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.archival import (
+    render_archival,
+    repair_traffic_ratio,
+    run_archival_experiment,
+)
+from repro.experiments.baselines import (
+    compare_baselines,
+    render_baselines,
+)
+from repro.experiments.geo import (
+    project_yearly_wan_cost,
+    render_geo,
+    run_geo_experiment,
+)
+
+
+class TestBaselinesHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.scheme: r for r in compare_baselines()}
+
+    def test_five_schemes(self, rows):
+        assert set(rows) == {
+            "3-replication",
+            "RS (10,4)",
+            "Pyramid (10,4+2)",
+            "LRC (10,6,5)",
+            "SRC(14,10,2)",
+        }
+
+    def test_all_coded_schemes_tolerate_four_failures(self, rows):
+        for name, row in rows.items():
+            if name != "3-replication":
+                assert row.failures_tolerated == 4
+
+    def test_repair_cost_spectrum(self, rows):
+        """replication < SRC < LRC < Pyramid < RS in repair download."""
+        assert (
+            rows["3-replication"].single_repair_blocks
+            < rows["SRC(14,10,2)"].single_repair_blocks
+            < rows["LRC (10,6,5)"].single_repair_blocks
+            < rows["Pyramid (10,4+2)"].single_repair_blocks
+            < rows["RS (10,4)"].single_repair_blocks
+        )
+
+    def test_storage_spectrum(self, rows):
+        assert (
+            rows["RS (10,4)"].storage_overhead
+            < rows["Pyramid (10,4+2)"].storage_overhead
+            < rows["LRC (10,6,5)"].storage_overhead
+            < rows["SRC(14,10,2)"].storage_overhead
+            < rows["3-replication"].storage_overhead
+        )
+
+    def test_local_coverage(self, rows):
+        assert rows["LRC (10,6,5)"].locally_repairable_fraction == 1.0
+        assert rows["RS (10,4)"].locally_repairable_fraction == 0.0
+        assert rows["Pyramid (10,4+2)"].locally_repairable_fraction == pytest.approx(
+            12 / 15
+        )
+
+    def test_xor_only_flags(self, rows):
+        assert rows["LRC (10,6,5)"].xor_only_repairs
+        assert not rows["Pyramid (10,4+2)"].xor_only_repairs
+
+    def test_render_contains_all_schemes(self):
+        text = render_baselines()
+        for scheme in ("3-replication", "RS (10,4)", "LRC (10,6,5)", "SRC"):
+            assert scheme in text
+
+
+class TestGeoHarness:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_geo_experiment()
+
+    def test_projection_scales_with_fleet(self, reports):
+        lrc = next(r for r in reports if "LRC" in r.scheme)
+        small = project_yearly_wan_cost(lrc, stripes=1e3)
+        large = project_yearly_wan_cost(lrc, stripes=1e6)
+        assert large.wan_terabytes_per_year == pytest.approx(
+            1000 * small.wan_terabytes_per_year
+        )
+
+    def test_projection_counts_blocks_per_scheme(self, reports):
+        repl = next(r for r in reports if r.scheme == "3-replication")
+        projection = project_yearly_wan_cost(
+            repl, stripes=100.0, node_mttf_years=4.0
+        )
+        # 100 stripes x 3 blocks / 4 years.
+        assert projection.repairs_per_year == pytest.approx(75.0)
+
+    def test_rs_pays_the_most_wan(self, reports):
+        costs = {
+            r.scheme: project_yearly_wan_cost(r).wan_dollars_per_year
+            for r in reports
+        }
+        assert costs["RS (10,4)"] > costs["3-replication"]
+        assert costs["RS (10,4)"] > 10 * costs["LRC (10,6,5)"]
+
+    def test_render_mentions_all_rows(self, reports):
+        text = render_geo(reports)
+        assert "replica-per-site" in text
+        assert "group-per-site" in text
+        assert "WAN" in text
+
+
+class TestArchivalHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_archival_experiment(stripe_sizes=(10, 50), samples=40, seed=1)
+
+    def test_ratio_grows_with_stripe_size(self, rows):
+        assert repair_traffic_ratio(rows, 50) > repair_traffic_ratio(rows, 10)
+        assert repair_traffic_ratio(rows, 50) == pytest.approx(10, rel=0.1)
+
+    def test_ratio_unknown_stripe_rejected(self, rows):
+        with pytest.raises(ValueError):
+            repair_traffic_ratio(rows, 99)
+
+    def test_render(self, rows):
+        text = render_archival(rows)
+        assert "RS (50,4)" in text
+        assert "MTTDL" in text
+
+
+class TestCliExtensions:
+    def test_baselines_command(self, capsys):
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "Pyramid" in out and "SRC" in out
+
+    def test_geo_command(self, capsys):
+        assert main(["geo", "--stripes", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "group-per-site" in out
+
+    def test_archival_command(self, capsys):
+        assert main(["archival", "--stripes", "10", "20", "--samples", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Archival" in out
+
+    def test_degraded_command(self, capsys):
+        assert main(["degraded", "--hours", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out

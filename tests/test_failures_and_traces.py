@@ -1,0 +1,82 @@
+"""Tests for failure injection and the Figure 1 trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    FailureInjector,
+    FailureTraceGenerator,
+    HadoopCluster,
+    ec2_config,
+    trace_summary,
+)
+from repro.codes import xorbas_lrc
+
+
+def make_cluster(files=4):
+    cluster = HadoopCluster(xorbas_lrc(), ec2_config(num_nodes=20), seed=0)
+    for i in range(files):
+        cluster.create_file(f"f{i}", 640e6)
+    cluster.raid_all_instant()
+    return cluster
+
+
+class TestFailureInjector:
+    def test_kill_marks_nodes_dead(self):
+        cluster = make_cluster()
+        injector = FailureInjector(cluster, np.random.default_rng(0))
+        nodes, lost = injector.kill(2)
+        assert len(nodes) == 2
+        assert lost > 0
+        for node_id in nodes:
+            assert not cluster.namenode.nodes[node_id].alive
+
+    def test_picks_nodes_near_average_load(self):
+        cluster = make_cluster(files=8)
+        injector = FailureInjector(cluster, np.random.default_rng(0))
+        average = np.mean(
+            [n.block_count for n in cluster.namenode.alive_nodes()]
+        )
+        picked = injector.pick_nodes(3)
+        for node_id in picked:
+            count = cluster.namenode.nodes[node_id].block_count
+            assert abs(count - average) <= average  # not an outlier
+
+    def test_cannot_kill_more_than_alive(self):
+        cluster = make_cluster()
+        injector = FailureInjector(cluster, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            injector.kill(100)
+
+    def test_kills_are_recorded(self):
+        cluster = make_cluster()
+        injector = FailureInjector(cluster, np.random.default_rng(0))
+        injector.kill(1)
+        injector.kill(2)
+        assert len(injector.killed) == 3
+
+
+class TestTraceGenerator:
+    def test_deterministic_given_seed(self):
+        gen = FailureTraceGenerator()
+        assert gen.generate(days=31, seed=7) == gen.generate(days=31, seed=7)
+
+    def test_length(self):
+        assert len(FailureTraceGenerator().generate(days=14, seed=0)) == 14
+
+    def test_matches_paper_envelope(self):
+        """Fig 1: typically ~20 failures/day, occasional bursts to ~110."""
+        trace = FailureTraceGenerator().generate(days=365, seed=0)
+        summary = trace_summary(trace)
+        assert 15 <= summary["mean"] <= 30
+        assert summary["max"] >= 60  # bursts happen over a year
+        assert summary["max"] <= 3000  # never exceeds the cluster size
+        assert summary["days_over_20"] >= 100  # "typical to have 20 or more"
+
+    def test_counts_non_negative(self):
+        trace = FailureTraceGenerator().generate(days=100, seed=3)
+        assert all(count >= 0 for count in trace)
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            FailureTraceGenerator().generate(days=0)

@@ -1,0 +1,168 @@
+"""Unit and property tests for GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import (
+    GF,
+    GF16,
+    GF256,
+    default_primitive_poly,
+    find_primitive_poly,
+    is_primitive,
+)
+
+
+@pytest.fixture(scope="module", params=[2, 3, 4, 8])
+def field(request):
+    return GF(request.param)
+
+
+class TestConstruction:
+    def test_order(self):
+        assert GF256.order == 256
+        assert GF16.order == 16
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            GF(0)
+        with pytest.raises(ValueError):
+            GF(17)
+
+    def test_rejects_mismatched_poly(self):
+        with pytest.raises(ValueError):
+            GF(4, primitive_poly=default_primitive_poly(8))
+
+    def test_rejects_non_primitive_poly(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5).
+        with pytest.raises(ValueError):
+            GF(4, primitive_poly=0b11111)
+
+    def test_tabulated_polys_are_primitive(self):
+        for m in range(1, 13):
+            assert is_primitive(default_primitive_poly(m)), m
+
+    def test_find_primitive_poly_agrees_for_small_degrees(self):
+        for m in (1, 2, 3, 4):
+            assert is_primitive(find_primitive_poly(m))
+
+    def test_equality_and_hash(self):
+        assert GF(8) == GF256
+        assert hash(GF(8)) == hash(GF256)
+        assert GF(4) != GF(8)
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, field):
+        assert field.add(5 % field.order, 3 % field.order) == (5 % field.order) ^ (
+            3 % field.order
+        )
+
+    def test_mul_identity(self, field):
+        elements = field.elements()
+        assert np.array_equal(field.mul(elements, 1), elements)
+
+    def test_mul_zero(self, field):
+        elements = field.elements()
+        assert not np.any(field.mul(elements, 0))
+
+    def test_mul_table_exhaustive_associativity_gf16(self):
+        f = GF16
+        els = np.arange(16)
+        for a in range(16):
+            for b in range(16):
+                left = f.mul(f.mul(a, b), els)
+                right = f.mul(a, f.mul(b, els))
+                assert np.array_equal(left, right)
+
+    def test_inverse_roundtrip(self, field):
+        nonzero = field.elements()[1:]
+        assert np.all(field.mul(nonzero, field.inv(nonzero)) == 1)
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_div(self, field):
+        nonzero = field.elements()[1:]
+        assert np.array_equal(field.div(nonzero, nonzero), np.ones_like(nonzero))
+
+    def test_pow_matches_repeated_mul(self, field):
+        a = field.alpha
+        acc = 1
+        for e in range(1, 10):
+            acc = int(field.mul(acc, a))
+            assert int(field.pow(a, e)) == acc
+
+    def test_pow_zero_exponent(self, field):
+        assert int(field.pow(field.alpha, 0)) == 1
+
+    def test_exp_log_roundtrip(self, field):
+        for i in range(field.order - 1):
+            assert field.log(field.exp(i)) == i
+
+    def test_alpha_generates_group(self, field):
+        seen = {field.exp(i) for i in range(field.order - 1)}
+        assert len(seen) == field.order - 1
+        assert 0 not in seen
+
+    def test_scale_matches_mul(self, field):
+        rng = np.random.default_rng(1)
+        vec = field.random_elements(rng, 100)
+        for coeff in (0, 1, field.alpha, field.order - 1):
+            assert np.array_equal(field.scale(coeff, vec), field.mul(coeff, vec))
+
+    def test_addmul_accumulates(self, field):
+        rng = np.random.default_rng(2)
+        acc = field.random_elements(rng, 50)
+        vec = field.random_elements(rng, 50)
+        expected = field.add(acc, field.mul(3 % field.order or 1, vec))
+        field.addmul(acc, 3 % field.order or 1, vec)
+        assert np.array_equal(acc, expected)
+
+
+@st.composite
+def gf256_elements(draw):
+    return draw(st.integers(min_value=0, max_value=255))
+
+
+class TestFieldAxiomsProperty:
+    """Hypothesis property tests of the field axioms over GF(2^8)."""
+
+    @given(gf256_elements(), gf256_elements(), gf256_elements())
+    @settings(max_examples=200)
+    def test_mul_associative(self, a, b, c):
+        f = GF256
+        assert int(f.mul(f.mul(a, b), c)) == int(f.mul(a, f.mul(b, c)))
+
+    @given(gf256_elements(), gf256_elements())
+    @settings(max_examples=200)
+    def test_mul_commutative(self, a, b):
+        f = GF256
+        assert int(f.mul(a, b)) == int(f.mul(b, a))
+
+    @given(gf256_elements(), gf256_elements(), gf256_elements())
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        f = GF256
+        assert int(f.mul(a, f.add(b, c))) == int(f.add(f.mul(a, b), f.mul(a, c)))
+
+    @given(gf256_elements())
+    @settings(max_examples=100)
+    def test_additive_inverse_is_self(self, a):
+        assert int(GF256.add(a, a)) == 0
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=100)
+    def test_multiplicative_inverse(self, a):
+        f = GF256
+        assert int(f.mul(a, f.inv(a))) == 1
+
+    @given(st.integers(min_value=1, max_value=255), st.integers(min_value=-5, max_value=9))
+    @settings(max_examples=100)
+    def test_pow_adds_exponents(self, a, e):
+        f = GF256
+        combined = int(f.mul(f.pow(a, e), f.pow(a, 3)))
+        assert combined == int(f.pow(a, e + 3))

@@ -1,0 +1,211 @@
+"""Tests for the geo-distributed storage analysis (Section 1.1, reason 4)."""
+
+import pytest
+
+from repro.codes import make_lrc, rs_10_4, three_replication, xorbas_lrc
+from repro.codes.replication import ReplicationCode
+from repro.geo import (
+    DataCenter,
+    GeoPlacement,
+    GeoTopology,
+    WanLink,
+    analyze_geo_scheme,
+    compare_geo_schemes,
+    expected_wan_repair_blocks,
+    fraction_wan_free_repairs,
+    group_per_site,
+    replica_per_site,
+    site_fault_tolerance,
+    spread_placement,
+    wan_blocks_for_repair,
+)
+from repro.geo.topology import three_region_topology
+
+GB = 1e9
+
+
+@pytest.fixture()
+def topology():
+    return three_region_topology()
+
+
+class TestTopology:
+    def test_requires_two_sites(self):
+        with pytest.raises(ValueError):
+            GeoTopology(datacenters=(DataCenter("solo"),))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            GeoTopology(datacenters=(DataCenter("a"), DataCenter("a")))
+
+    def test_site_lookup(self, topology):
+        assert topology.site("us-east").name == "us-east"
+        with pytest.raises(KeyError):
+            topology.site("mars")
+
+    def test_intra_site_transfers_are_free(self, topology):
+        assert topology.transfer_seconds("us-east", "us-east", GB) == 0.0
+        assert topology.transfer_cost("us-east", "us-east", GB) == 0.0
+        with pytest.raises(ValueError):
+            topology.link("us-east", "us-east")
+
+    def test_wan_transfer_time_and_cost(self, topology):
+        seconds = topology.transfer_seconds("us-east", "europe", GB)
+        assert seconds == pytest.approx(8.0)  # 1 GB over 1 Gb/s
+        cost = topology.transfer_cost("us-east", "europe", GB)
+        assert cost == pytest.approx(0.02)
+
+    def test_link_overrides(self):
+        slow = WanLink(bandwidth=1e6, cost_per_byte=1e-9)
+        topo = GeoTopology(
+            datacenters=(DataCenter("a"), DataCenter("b")),
+            link_overrides={("a", "b"): slow},
+        )
+        assert topo.link("a", "b") is slow
+        assert topo.link("b", "a").bandwidth == topo.wan_bandwidth
+
+    def test_invalid_link_parameters(self):
+        with pytest.raises(ValueError):
+            WanLink(bandwidth=0, cost_per_byte=0)
+        with pytest.raises(ValueError):
+            WanLink(bandwidth=1, cost_per_byte=-1)
+
+    def test_invalid_datacenter(self):
+        with pytest.raises(ValueError):
+            DataCenter("")
+        with pytest.raises(ValueError):
+            DataCenter("x", nodes=0)
+
+
+class TestPlacements:
+    def test_replica_per_site(self, topology):
+        placement = replica_per_site(three_replication(), topology)
+        assert placement.sites_used() == topology.site_names
+        assert len(set(placement.site_of)) == 3
+
+    def test_replica_per_site_needs_enough_sites(self, topology):
+        with pytest.raises(ValueError):
+            replica_per_site(ReplicationCode(4), topology)
+
+    def test_spread_round_robin(self, topology):
+        placement = spread_placement(rs_10_4(), topology)
+        counts = {s: len(placement.blocks_at(s)) for s in topology.site_names}
+        assert sorted(counts.values()) == [4, 5, 5]
+
+    def test_group_per_site_confines_groups(self, topology):
+        lrc = xorbas_lrc()
+        placement = group_per_site(lrc, topology)
+        # Data groups 1 and 2 (with their stored parities) are single-site.
+        for group in lrc.groups[:2]:
+            sites = {placement.site_of[m] for m in group.members}
+            assert len(sites) == 1
+
+    def test_group_per_site_needs_enough_sites(self):
+        two_sites = GeoTopology(datacenters=(DataCenter("a"), DataCenter("b")))
+        with pytest.raises(ValueError):
+            group_per_site(xorbas_lrc(), two_sites)
+
+    def test_placement_length_validated(self):
+        with pytest.raises(ValueError):
+            GeoPlacement(code=rs_10_4(), site_of=("a",) * 3)
+
+    def test_colocated_helper(self, topology):
+        placement = group_per_site(xorbas_lrc(), topology)
+        assert placement.colocated(0, 1)
+        assert not placement.colocated(0, 5)
+
+
+class TestWanTraffic:
+    def test_lrc_data_repairs_are_wan_free(self, topology):
+        placement = group_per_site(xorbas_lrc(), topology)
+        for lost in range(10):
+            assert wan_blocks_for_repair(placement, lost) == 0
+        # Local parities too (their groups are colocated).
+        assert wan_blocks_for_repair(placement, 14) == 0
+        assert wan_blocks_for_repair(placement, 15) == 0
+
+    def test_lrc_global_parity_repairs_read_two_wan_blocks(self, topology):
+        """The implied group spans sites: S1, S2 come over the WAN."""
+        placement = group_per_site(xorbas_lrc(), topology)
+        for lost in range(10, 14):
+            assert wan_blocks_for_repair(placement, lost) == 2
+
+    def test_rs_spread_repairs_are_wan_heavy(self, topology):
+        placement = spread_placement(rs_10_4(), topology)
+        expected = expected_wan_repair_blocks(placement)
+        assert expected > 5  # k=10 reads, at most ~4 of them local
+
+    def test_replication_repair_copies_one_wan_block(self, topology):
+        placement = replica_per_site(three_replication(), topology)
+        assert expected_wan_repair_blocks(placement) == pytest.approx(1.0)
+        assert fraction_wan_free_repairs(placement) == 0.0
+
+    def test_lrc_wan_free_fraction(self, topology):
+        placement = group_per_site(xorbas_lrc(), topology)
+        assert fraction_wan_free_repairs(placement) == pytest.approx(12 / 16)
+
+    def test_wan_reduction_factor_over_rs(self, topology):
+        """The headline of the geo argument: order-of-magnitude less WAN."""
+        rs = expected_wan_repair_blocks(spread_placement(rs_10_4(), topology))
+        lrc = expected_wan_repair_blocks(group_per_site(xorbas_lrc(), topology))
+        assert rs / lrc > 10
+
+
+class TestSiteFaultTolerance:
+    def test_replication_survives_two_site_losses(self, topology):
+        placement = replica_per_site(three_replication(), topology)
+        assert site_fault_tolerance(placement) == 2
+
+    def test_k10_codes_cannot_survive_site_loss_on_three_sites(self, topology):
+        """Honest accounting: with k=10 over 3 sites, losing the
+        biggest site erases more blocks than either code tolerates."""
+        assert site_fault_tolerance(spread_placement(rs_10_4(), topology)) == 0
+        assert site_fault_tolerance(group_per_site(xorbas_lrc(), topology)) == 0
+
+    def test_rs_spread_over_many_sites_survives_one(self):
+        wide = GeoTopology(
+            datacenters=tuple(DataCenter(f"dc{i}") for i in range(7))
+        )
+        placement = spread_placement(rs_10_4(), wide)
+        assert site_fault_tolerance(placement) >= 1
+
+    def test_small_lrc_groups_over_many_sites(self):
+        """An archival-style LRC with more, smaller groups regains
+        site-level tolerance while keeping repairs local."""
+        wide = GeoTopology(
+            datacenters=tuple(DataCenter(f"dc{i}") for i in range(8))
+        )
+        code = make_lrc(10, 4, 2)  # five data groups + parity group
+        placement = group_per_site(code, wide)
+        assert fraction_wan_free_repairs(placement) > 0.5
+        assert site_fault_tolerance(placement) >= 1
+
+
+class TestReports:
+    def test_compare_rows_cover_three_schemes(self, topology):
+        rows = compare_geo_schemes(topology)
+        assert [r.scheme for r in rows] == [
+            "3-replication",
+            "RS (10,4)",
+            "LRC (10,6,5)",
+        ]
+
+    def test_report_fields_consistent(self, topology):
+        placement = group_per_site(xorbas_lrc(), topology)
+        report = analyze_geo_scheme(placement, topology, block_size_bytes=256e6)
+        assert report.storage_overhead == pytest.approx(0.6)
+        assert report.expected_wan_blocks == pytest.approx(0.5)
+        # 0.5 blocks * 256 MB over 1 Gb/s.
+        assert report.wan_seconds_per_repair == pytest.approx(
+            0.5 * 256e6 / (1e9 / 8)
+        )
+        assert report.wan_dollars_per_repair > 0
+        assert "LRC" in report.describe()
+
+    def test_storage_ordering_in_comparison(self, topology):
+        rows = {r.scheme: r for r in compare_geo_schemes(topology)}
+        assert (
+            rows["RS (10,4)"].storage_overhead
+            < rows["LRC (10,6,5)"].storage_overhead
+            < rows["3-replication"].storage_overhead
+        )

@@ -1,0 +1,92 @@
+"""Tests for the geo read-latency model."""
+
+import pytest
+
+from repro.codes import rs_10_4, three_replication, xorbas_lrc
+from repro.geo import group_per_site, replica_per_site, spread_placement
+from repro.geo.latency import (
+    data_locality_fraction,
+    read_latency_profile,
+)
+from repro.geo.topology import three_region_topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return three_region_topology()
+
+
+class TestLocalityFractions:
+    def test_replication_is_always_local(self, topology):
+        placement = replica_per_site(three_replication(), topology)
+        for site in topology.site_names:
+            assert data_locality_fraction(placement, site) == 1.0
+
+    def test_spread_rs_is_one_third_local(self, topology):
+        placement = spread_placement(rs_10_4(), topology)
+        fractions = [
+            data_locality_fraction(placement, s) for s in topology.site_names
+        ]
+        assert sum(fractions) == pytest.approx(1.0)
+        for fraction in fractions:
+            assert 0.2 <= fraction <= 0.5
+
+    def test_lrc_groups_concentrate_data(self, topology):
+        """Each data group's site holds half the data blocks."""
+        placement = group_per_site(xorbas_lrc(), topology)
+        assert data_locality_fraction(placement, "us-east") == pytest.approx(0.5)
+        assert data_locality_fraction(placement, "us-west") == pytest.approx(0.5)
+        # The parity site holds no data blocks at all.
+        assert data_locality_fraction(placement, "europe") == 0.0
+
+
+class TestLatencyProfiles:
+    def test_replication_reads_at_local_speed(self, topology):
+        placement = replica_per_site(three_replication(), topology)
+        profile = read_latency_profile(placement, topology, "us-east")
+        assert profile.expected_latency == pytest.approx(profile.local_latency)
+
+    def test_remote_reads_pay_rtt_and_wan_transfer(self, topology):
+        placement = spread_placement(rs_10_4(), topology)
+        profile = read_latency_profile(
+            placement, topology, "us-east", block_size_bytes=256e6
+        )
+        # 256 MB over 1 Gb/s = ~2.05 s, plus the RTT.
+        assert profile.remote_latency == pytest.approx(0.070 + 256e6 / (1e9 / 8))
+        assert (
+            profile.local_latency
+            < profile.expected_latency
+            < profile.remote_latency
+        )
+
+    def test_lrc_data_site_beats_spread_rs(self, topology):
+        """A client co-located with its data group reads 50% locally,
+        versus ~1/3 under round-robin RS."""
+        lrc_profile = read_latency_profile(
+            group_per_site(xorbas_lrc(), topology), topology, "us-east"
+        )
+        rs_profile = read_latency_profile(
+            spread_placement(rs_10_4(), topology), topology, "us-east"
+        )
+        assert lrc_profile.local_fraction > rs_profile.local_fraction
+        assert lrc_profile.expected_latency < rs_profile.expected_latency
+
+    def test_unknown_site_rejected(self, topology):
+        placement = spread_placement(rs_10_4(), topology)
+        with pytest.raises(KeyError):
+            read_latency_profile(placement, topology, "atlantis")
+
+    def test_latency_ordering_overall(self, topology):
+        """replication < LRC(group site) < RS spread in expected latency."""
+        repl = read_latency_profile(
+            replica_per_site(three_replication(), topology), topology, "us-east"
+        )
+        lrc = read_latency_profile(
+            group_per_site(xorbas_lrc(), topology), topology, "us-east"
+        )
+        rs = read_latency_profile(
+            spread_placement(rs_10_4(), topology), topology, "us-east"
+        )
+        assert (
+            repl.expected_latency < lrc.expected_latency < rs.expected_latency
+        )

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the "any pattern" claims the paper's constructions rest on:
+decode-from-anything within tolerance, repair correctness under random
+loss, locality certification of random family members, and simulator
+byte-conservation under random workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    DecodingError,
+    ReedSolomonCode,
+    make_lrc,
+    rs_10_4,
+    xorbas_lrc,
+)
+from repro.galois import GF256
+
+RS = rs_10_4()
+LRC = xorbas_lrc()
+RNG = np.random.default_rng(123)
+DATA = RNG.integers(0, 256, size=(10, 32), dtype=np.uint8)
+RS_CODED = RS.encode(DATA)
+LRC_CODED = LRC.encode(DATA)
+
+
+@st.composite
+def erasure_patterns(draw, n, max_erasures):
+    count = draw(st.integers(min_value=1, max_value=max_erasures))
+    return frozenset(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+
+
+class TestRsProperties:
+    @given(erasure_patterns(14, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_decode_survives_any_tolerated_erasure(self, erased):
+        available = {i: RS_CODED[i] for i in range(14) if i not in erased}
+        assert np.array_equal(RS.decode(available), DATA)
+
+    @given(erasure_patterns(14, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_repair_reproduces_exact_block(self, erased):
+        target = min(erased)
+        available = {i: RS_CODED[i] for i in range(14) if i not in erased}
+        assert np.array_equal(RS.repair(target, available), RS_CODED[target])
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_payload_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=(10, 8), dtype=np.uint8)
+        coded = RS.encode(data)
+        available = {i: coded[i] for i in range(4, 14)}  # drop all data blocks
+        assert np.array_equal(RS.decode(available), data)
+
+
+class TestLrcProperties:
+    @given(erasure_patterns(16, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_decode_survives_any_tolerated_erasure(self, erased):
+        available = {i: LRC_CODED[i] for i in range(16) if i not in erased}
+        assert np.array_equal(LRC.decode(available), DATA)
+
+    @given(erasure_patterns(16, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_repair_reproduces_exact_block(self, erased):
+        target = min(erased)
+        available = {i: LRC_CODED[i] for i in range(16) if i not in erased}
+        assert np.array_equal(LRC.repair(target, available), LRC_CODED[target])
+
+    @given(erasure_patterns(16, 1))
+    @settings(max_examples=16, deadline=None)
+    def test_single_loss_always_light(self, erased):
+        target = min(erased)
+        plan = LRC.best_repair_plan(target, set(range(16)) - erased)
+        assert plan is not None
+        assert plan.num_reads == 5
+        assert plan.is_xor_only()
+
+    @given(erasure_patterns(16, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_five_erasures_decode_or_raise_consistently(self, erased):
+        """Beyond d-1 erasures, decode either succeeds (pattern not fatal)
+        or raises DecodingError — never returns wrong data."""
+        available = {i: LRC_CODED[i] for i in range(16) if i not in erased}
+        try:
+            recovered = LRC.decode(available)
+        except DecodingError:
+            assert not LRC.is_decodable(set(available))
+        else:
+            assert np.array_equal(recovered, DATA)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_family_members_repair_all_single_losses(self, k, m, r):
+        code = make_lrc(k, m, min(r, k), field=GF256)
+        rng = np.random.default_rng(k * 100 + m * 10 + r)
+        data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+        coded = code.encode(data)
+        for lost in range(code.n):
+            available = {i: coded[i] for i in range(code.n) if i != lost}
+            assert np.array_equal(code.repair(lost, available), coded[lost])
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_family_distance_at_least_precode(self, k, m):
+        """Adding local parities never hurts the precode's distance."""
+        code = make_lrc(k, m, max(1, k // 2), field=GF256)
+        assert code.minimum_distance() >= m + 1
+
+
+class TestSimulatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_repair_conservation_random_clusters(self, files, seed):
+        """For any cluster content and any single-node kill: repairs
+        restore every block, bytes read equal per-node disk reads, and
+        no data loss occurs."""
+        from repro.cluster import BlockFixer, FailureInjector, HadoopCluster, ec2_config
+        from repro.experiments.runner import run_until_quiescent
+
+        config = ec2_config(num_nodes=20).scaled(
+            failure_detection_delay=30.0, blockfixer_interval=15.0, job_startup=5.0
+        )
+        cluster = HadoopCluster(xorbas_lrc(), config, seed=seed % 10_000)
+        rng = np.random.default_rng(seed)
+        for i in range(files):
+            blocks = int(rng.integers(1, 21))
+            cluster.create_file(f"f{i}", blocks * 64e6)
+        cluster.raid_all_instant()
+        total = cluster.fsck()["stored_blocks"]
+        fixer = BlockFixer(cluster)
+        fixer.start()
+        FailureInjector(cluster, rng).kill(1)
+        run_until_quiescent(cluster, fixer)
+        assert cluster.fsck()["stored_blocks"] == total
+        assert cluster.fsck()["missing_blocks"] == 0
+        assert not cluster.data_loss_events
+        per_node = sum(cluster.metrics.disk_read_by_node.values())
+        assert per_node == pytest.approx(cluster.metrics.hdfs_bytes_read)

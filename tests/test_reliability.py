@@ -1,0 +1,168 @@
+"""Tests for the Markov reliability model (Section 4, Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import rs_10_4, three_replication, xorbas_lrc
+from repro.reliability import (
+    PAPER_TABLE1,
+    BirthDeathChain,
+    ClusterReliabilityParameters,
+    analyze_scheme,
+    build_chain,
+    compute_table1,
+    degraded_read_delay,
+    estimate_availability,
+    expected_reads_per_state,
+    mttdl_approximation,
+    mttdl_zeros,
+)
+
+
+class TestBirthDeathChain:
+    def test_single_state_exponential(self):
+        chain = BirthDeathChain(failure_rates=(0.5,), repair_rates=())
+        assert chain.mean_time_to_absorption() == pytest.approx(2.0)
+
+    def test_two_state_no_repair(self):
+        chain = BirthDeathChain(failure_rates=(1.0, 2.0), repair_rates=(0.0,))
+        assert chain.mean_time_to_absorption() == pytest.approx(1.0 + 0.5)
+
+    def test_matches_linear_solve_when_well_conditioned(self):
+        chain = BirthDeathChain(failure_rates=(1.0, 2.0, 3.0), repair_rates=(5.0, 7.0))
+        exact = chain.mean_time_to_absorption()
+        solved = chain.mean_time_to_absorption_linsolve()
+        assert exact == pytest.approx(solved, rel=1e-9)
+
+    def test_matches_product_approximation_in_repair_dominant_regime(self):
+        failures = (1e-8, 2e-8, 3e-8)
+        repairs = (0.1, 0.2)
+        chain = BirthDeathChain(failure_rates=failures, repair_rates=repairs)
+        approx = mttdl_approximation(failures, repairs)
+        assert chain.mean_time_to_absorption() == pytest.approx(approx, rel=1e-5)
+
+    def test_generator_matrix_rows_sum_to_outflow(self):
+        chain = BirthDeathChain(failure_rates=(1.0, 2.0, 3.0), repair_rates=(5.0, 7.0))
+        q = chain.generator_matrix()
+        # Row sums equal minus the rate of leaving the transient block.
+        assert q[0].sum() == pytest.approx(0.0)  # state 0 only moves to 1
+        assert q[-1].sum() == pytest.approx(-3.0)  # absorption leak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(failure_rates=(), repair_rates=())
+        with pytest.raises(ValueError):
+            BirthDeathChain(failure_rates=(1.0, 1.0), repair_rates=())
+        with pytest.raises(ValueError):
+            BirthDeathChain(failure_rates=(0.0,), repair_rates=())
+        with pytest.raises(ValueError):
+            BirthDeathChain(failure_rates=(1.0, 1.0), repair_rates=(-1.0,))
+
+    @given(
+        st.lists(st.floats(min_value=1e-9, max_value=1.0), min_size=1, max_size=5),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_faster_repair_never_hurts(self, failures, repair):
+        repairs_slow = tuple(repair for _ in failures[1:])
+        repairs_fast = tuple(2 * repair + 1 for _ in failures[1:])
+        slow = BirthDeathChain(tuple(failures), repairs_slow).mean_time_to_absorption()
+        fast = BirthDeathChain(tuple(failures), repairs_fast).mean_time_to_absorption()
+        assert fast >= slow * (1 - 1e-12)
+
+
+class TestSchemeChains:
+    def test_replication_chain_shape(self):
+        chain = build_chain(three_replication(), ClusterReliabilityParameters())
+        assert chain.num_transient == 3  # states 0, 1, 2; absorbing at 3 losses
+        lam = ClusterReliabilityParameters().node_failure_rate
+        assert chain.failure_rates == pytest.approx((3 * lam, 2 * lam, lam))
+
+    def test_coded_chain_shape(self):
+        params = ClusterReliabilityParameters()
+        for code in (rs_10_4(), xorbas_lrc()):
+            chain = build_chain(code, params)
+            assert chain.num_transient == 5  # tolerates 4 erasures
+
+    def test_rs_reads_constant_10(self):
+        assert expected_reads_per_state(rs_10_4(), 4) == pytest.approx([10.0] * 4)
+
+    def test_lrc_reads_start_at_5(self):
+        reads = expected_reads_per_state(xorbas_lrc(), 4)
+        assert reads[0] == pytest.approx(5.0)
+        assert all(5.0 <= r <= 10.0 for r in reads)
+
+    def test_replication_reads_are_1(self):
+        assert expected_reads_per_state(three_replication(), 2) == [1.0, 1.0]
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compute_table1()
+
+    def test_overheads_match_paper(self, rows):
+        for row, paper in zip(rows, PAPER_TABLE1):
+            assert row.storage_overhead == pytest.approx(paper.storage_overhead)
+
+    def test_repair_traffic_matches_paper(self, rows):
+        for row, paper in zip(rows, PAPER_TABLE1):
+            assert row.repair_traffic_blocks == pytest.approx(
+                paper.repair_traffic_blocks
+            )
+
+    def test_replication_mttdl_close_to_paper(self, rows):
+        """The pure transfer-time model reproduces the published
+        3-replication MTTDL to within a few percent."""
+        ours, paper = rows[0].mttdl_days, PAPER_TABLE1[0].mttdl_days
+        assert ours == pytest.approx(paper, rel=0.05)
+
+    def test_ordering_replication_rs_lrc(self, rows):
+        rep, rs, lrc = (row.mttdl_days for row in rows)
+        assert rep < rs < lrc
+
+    def test_coded_schemes_orders_above_replication(self, rows):
+        rep, rs, lrc = (row.mttdl_days for row in rows)
+        assert math.log10(rs / rep) > 3
+        assert math.log10(lrc / rep) > 3
+
+    def test_mttdl_zeros(self):
+        assert mttdl_zeros(2.3079e10) == 10
+        assert mttdl_zeros(1.2180e15) == 15
+        with pytest.raises(ValueError):
+            mttdl_zeros(0.0)
+
+    def test_repair_epoch_compresses_reliability(self):
+        base = compute_table1()
+        slowed = compute_table1(ClusterReliabilityParameters().with_repair_epoch(600))
+        for fast, slow in zip(base, slowed):
+            assert slow.mttdl_days < fast.mttdl_days
+
+    def test_mttdl_years_property(self, rows):
+        assert rows[0].mttdl_years == pytest.approx(rows[0].mttdl_days / 365.0)
+
+
+class TestAvailability:
+    def test_replication_has_zero_degraded_delay(self):
+        assert degraded_read_delay(three_replication(), 256e6, 125e6) == 0.0
+
+    def test_lrc_degraded_delay_half_of_rs(self):
+        rs_delay = degraded_read_delay(rs_10_4(), 256e6, 125e6)
+        lrc_delay = degraded_read_delay(xorbas_lrc(), 256e6, 125e6)
+        assert lrc_delay == pytest.approx(rs_delay / 2)
+
+    def test_availability_ordering(self):
+        schemes = [three_replication(), rs_10_4(), xorbas_lrc()]
+        estimates = [
+            estimate_availability(code, 256e6, 125e6) for code in schemes
+        ]
+        rep, rs, lrc = (e.availability for e in estimates)
+        assert rep >= lrc >= rs
+
+    def test_nines(self):
+        estimate = estimate_availability(rs_10_4(), 256e6, 125e6)
+        assert estimate.nines > 0

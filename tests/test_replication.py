@@ -1,0 +1,61 @@
+"""Tests for the replication baseline."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodingError, ReplicationCode, three_replication
+
+
+@pytest.fixture
+def rep():
+    return three_replication()
+
+
+class TestReplication:
+    def test_parameters(self, rep):
+        params = rep.parameters()
+        assert (params.k, params.n) == (1, 3)
+        assert params.locality == 1
+        assert params.minimum_distance == 3
+        assert params.storage_overhead == pytest.approx(2.0)
+
+    def test_encode_copies(self, rep):
+        data = np.arange(16, dtype=np.uint8).reshape(1, -1)
+        coded = rep.encode(data)
+        assert coded.shape == (3, 16)
+        for replica in coded:
+            assert np.array_equal(replica, data[0])
+
+    def test_decode_from_any_single_replica(self, rep):
+        data = np.arange(8, dtype=np.uint8).reshape(1, -1)
+        coded = rep.encode(data)
+        for i in range(3):
+            assert np.array_equal(rep.decode({i: coded[i]}), data)
+
+    def test_decode_empty_raises(self, rep):
+        with pytest.raises(DecodingError):
+            rep.decode({})
+
+    def test_repair_is_single_copy(self, rep):
+        data = np.arange(8, dtype=np.uint8).reshape(1, -1)
+        coded = rep.encode(data)
+        plan = rep.best_repair_plan(0, [1, 2])
+        assert plan.num_reads == 1
+        assert plan.kind == "copy"
+        assert np.array_equal(rep.repair(0, {1: coded[1], 2: coded[2]}), data[0])
+
+    def test_heavy_read_count_is_one(self, rep):
+        assert rep.heavy_read_count([1, 2]) == 1
+
+    def test_encode_rejects_multiblock(self, rep):
+        with pytest.raises(ValueError):
+            rep.encode(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_single_replica_code(self):
+        code = ReplicationCode(1)
+        assert code.minimum_distance() == 1
+        assert code.repair_plans(0) == []
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            ReplicationCode(0)

@@ -1,0 +1,98 @@
+"""Integration tests: the scrubber daemon on a running simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import HadoopCluster, ScrubberDaemon, ec2_config
+from repro.cluster.integrity import CorruptionInjector
+from repro.codes import rs_10_4, xorbas_lrc
+
+
+def build_cluster(code, files=3, seed=0):
+    cluster = HadoopCluster(code, ec2_config(num_nodes=50), seed=seed)
+    for i in range(files):
+        cluster.create_file(f"file{i}", 640e6)
+    cluster.raid_all_instant()
+    return cluster
+
+
+@pytest.fixture()
+def lrc_cluster():
+    return build_cluster(xorbas_lrc())
+
+
+class TestSetup:
+    def test_records_all_blocks(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster)
+        recorded = daemon.record_checksums()
+        # 3 files x 1 stripe x 16 blocks.
+        assert recorded == 48
+
+    def test_invalid_interval(self, lrc_cluster):
+        with pytest.raises(ValueError):
+            ScrubberDaemon(lrc_cluster, scan_interval=0)
+
+    def test_double_start_rejected(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster)
+        daemon.start()
+        with pytest.raises(RuntimeError):
+            daemon.start()
+
+
+class TestScanLoop:
+    def test_clean_cluster_scans_clean(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster, scan_interval=600.0)
+        daemon.record_checksums()
+        daemon.start()
+        lrc_cluster.run(until=3 * 600.0 + 1)
+        assert len(daemon.reports) == 3
+        assert all(r.clean for r in daemon.reports)
+        assert daemon.total_healed == 0
+
+    def test_corruption_healed_on_next_scan(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster, scan_interval=600.0)
+        daemon.record_checksums()
+        daemon.start()
+        stripe = lrc_cluster.files["file1"].stripes[0]
+        pristine = stripe.payload.copy()
+        CorruptionInjector(seed=1).corrupt_block(stripe, 4)
+        lrc_cluster.run(until=601.0)
+        assert daemon.total_healed == 1
+        np.testing.assert_array_equal(stripe.payload, pristine)
+
+    def test_heal_reads_charged_to_metrics(self):
+        for code, expected_reads in ((xorbas_lrc(), 5), (rs_10_4(), 13)):
+            cluster = build_cluster(code)
+            daemon = ScrubberDaemon(cluster, scan_interval=600.0)
+            daemon.record_checksums()
+            daemon.start()
+            stripe = cluster.files["file0"].stripes[0]
+            CorruptionInjector(seed=2).corrupt_block(stripe, 0)
+            before = cluster.metrics.hdfs_bytes_read
+            cluster.run(until=601.0)
+            charged = cluster.metrics.hdfs_bytes_read - before
+            assert charged == pytest.approx(
+                expected_reads * cluster.config.block_size
+            )
+
+    def test_repeated_corruption_across_scans(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster, scan_interval=600.0)
+        daemon.record_checksums()
+        daemon.start()
+        injector = CorruptionInjector(seed=3)
+        stripe = lrc_cluster.files["file2"].stripes[0]
+        injector.corrupt_block(stripe, 7)
+        lrc_cluster.run(until=601.0)
+        injector.corrupt_block(stripe, 12)
+        lrc_cluster.run(until=1201.0)
+        assert daemon.total_healed == 2
+        assert daemon.total_blocks_read == 10  # two light heals
+
+    def test_scan_once_without_timer(self, lrc_cluster):
+        daemon = ScrubberDaemon(lrc_cluster)
+        daemon.record_checksums()
+        stripe = lrc_cluster.files["file0"].stripes[0]
+        CorruptionInjector(seed=4).corrupt_block(stripe, 15)  # local parity
+        report = daemon.scan_once()
+        assert [b.position for b in report.healed_blocks] == [15]
+        assert report.blocks_read_for_heal == 5

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster import Simulation
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self):
+        sim = Simulation()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulation()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(10.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0, 10.0]
+        assert sim.now == 10.0
+
+    def test_nested_scheduling(self):
+        sim = Simulation()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(2.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [1.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert not fired
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulation()
+        assert not sim.step()
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_runaway_loop_detected(self):
+        sim = Simulation()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulation()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

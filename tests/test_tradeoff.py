@@ -1,0 +1,70 @@
+"""Tests for the locality/storage/repair tradeoff sweep."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.tradeoff import (
+    frontier_is_monotone,
+    locality_sweep,
+    render_tradeoff,
+    verify_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return locality_sweep()  # uncertified: construction is instant
+
+
+class TestSweepStructure:
+    def test_includes_rs_corner(self, points):
+        rs = points[-1]
+        assert rs.locality == 10
+        assert rs.storage_overhead == pytest.approx(0.4)
+        assert rs.distance_bound == 5  # Singleton at r = k
+
+    def test_repair_reads_equal_locality(self, points):
+        for p in points:
+            assert p.repair_reads == p.locality
+            assert p.repair_traffic_factor == float(p.locality)
+
+    def test_monotone_frontier(self, points):
+        assert frontier_is_monotone(points)
+        verify_frontier(points)
+
+    def test_xorbas_point_present(self, points):
+        xorbas = next(p for p in points if p.locality == 5)
+        assert xorbas.n == 16
+        assert xorbas.storage_overhead == pytest.approx(0.6)
+        assert xorbas.distance_bound == 5  # Theorem 5 refined bound
+
+    def test_invalid_locality_rejected(self):
+        with pytest.raises(ValueError):
+            locality_sweep(localities=(10,))
+        with pytest.raises(ValueError):
+            locality_sweep(localities=(0,))
+
+    def test_custom_parameters(self):
+        pts = locality_sweep(k=6, global_parities=2, localities=(2, 3))
+        assert len(pts) == 3  # two LRCs + the RS corner
+        assert frontier_is_monotone(pts)
+
+
+class TestRendering:
+    def test_render_uncertified_shows_dash(self, points):
+        text = render_tradeoff(points)
+        assert "RS(10,4)" in text
+        assert "-" in text
+
+    def test_certified_small_sweep(self):
+        pts = locality_sweep(k=4, global_parities=2, localities=(2,), certify=True)
+        verify_frontier(pts)
+        for p in pts:
+            assert p.certified_distance is not None
+            assert 2 <= p.certified_distance <= p.distance_bound
+
+    def test_cli_command(self, capsys):
+        assert main(["tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "tradeoff" in out.lower()
+        assert "LRC(10,6,5)" in out
