@@ -9,7 +9,6 @@ neutralises single bursts for every scheme, and under multi-rack bursts
 the codes' distances — not their repair costs — order survival.
 """
 
-import pytest
 
 from repro.codes import rs_10_4, three_replication, xorbas_lrc
 from repro.reliability.correlated import (

@@ -26,8 +26,8 @@ def test_fig4_run_200_files(benchmark):
     assert len(result.rs.events) == 8
     assert len(result.xorbas.events) == 8
     for run in result.runs():
-        assert run.cluster.fsck()["missing_blocks"] == 0
-        assert not run.cluster.data_loss_events
+        assert run.fsck["missing_blocks"] == 0
+        assert not run.data_loss_events
 
 
 def test_fig4a_hdfs_bytes_read(ec2_200, benchmark):

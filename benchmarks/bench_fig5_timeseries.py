@@ -78,7 +78,7 @@ def test_fig5c_cpu_series(ec2_200, benchmark):
     def cpu():
         out = {}
         for run in ec2_200.runs():
-            config = run.cluster.config
+            config = run.config
             out[run.scheme] = run.metrics.cpu_utilization_series(
                 config.num_nodes, config.map_slots_per_node
             )

@@ -14,7 +14,7 @@ from repro.experiments import (
     format_table,
 )
 
-from conftest import get_ec2_result, write_report
+from conftest import get_ec2_result, record_metric, write_report
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +82,8 @@ def test_fig6_scatter_and_slopes(all_results, benchmark):
 
     rs = slopes["HDFS-RS"]
     xorbas = slopes["HDFS-Xorbas"]
+    record_metric("fig6_rs_blocks_read_per_lost", rs["blocks_read_per_lost"])
+    record_metric("fig6_xorbas_blocks_read_per_lost", xorbas["blocks_read_per_lost"])
     # Paper: 11.5 vs 5.8 blocks read per lost block — roughly 2x.
     assert rs["blocks_read_per_lost"] == pytest.approx(11.5, rel=0.2)
     assert xorbas["blocks_read_per_lost"] == pytest.approx(5.8, rel=0.2)

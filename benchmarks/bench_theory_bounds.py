@@ -6,7 +6,6 @@ the flow-graph achievability boundary, and the d_LRC/d_MDS -> 1
 asymptotics of Corollary 1.
 """
 
-import pytest
 
 from repro.codes import (
     certify_distance,

@@ -1,35 +1,61 @@
 """Shared fixtures for the benchmark harness.
 
 The EC2 simulations are the expensive part (tens of seconds each), and
-Figures 4, 5 and 6 all view the same runs, so results are cached at
-session scope: each cluster simulation executes exactly once per
-benchmark session regardless of how many benchmarks consume it.
+Figures 4, 5 and 6 all view the same runs, so results go through the
+parallel experiment runner: independent (scheme, size) configurations
+fan across ``multiprocessing`` workers and land in an on-disk cache
+keyed by configuration hash.  Repeated benchmark sessions — and any
+other process asking for the same configuration — reuse the cached
+results instead of re-simulating; an in-process memo on top avoids
+re-reading pickles within one session.
 
 Every benchmark writes its paper-versus-measured report into
-``results/`` next to this directory, so the regenerated tables survive
-the pytest run.
+``results/`` next to this directory, and the session emits a
+machine-readable ``BENCH_results.json`` (wall-clock timings per
+benchmark plus any metrics recorded via :func:`record_metric`) so the
+perf trajectory is diffable across commits.
+
+Environment knobs: ``REPRO_JOBS`` (worker count, default: CPU count)
+and ``REPRO_CACHE_DIR`` (cache location, default ``.cache/experiments``
+under the repo root).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import time
 
 import pytest
 
-from repro.experiments import EC2ExperimentResult, run_ec2_experiment
+from repro.experiments import (
+    EC2ExperimentSummary,
+    ResultCache,
+    run_ec2_experiment_parallel,
+)
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = ROOT / "results"
+CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_CACHE_DIR", ROOT / ".cache" / "experiments")
+)
 
-_EC2_CACHE: dict[int, EC2ExperimentResult] = {}
+EC2_CACHE = ResultCache(CACHE_DIR)
+_EC2_MEMO: dict[tuple[int, int], EC2ExperimentSummary] = {}
+
+_TIMINGS: dict[str, float] = {}
+_METRICS: dict[str, float] = {}
 
 
-def get_ec2_result(num_files: int, seed: int | None = None) -> EC2ExperimentResult:
+def get_ec2_result(num_files: int, seed: int | None = None) -> EC2ExperimentSummary:
     """Run (or fetch the cached) EC2 experiment at a given scale."""
-    if num_files not in _EC2_CACHE:
-        _EC2_CACHE[num_files] = run_ec2_experiment(
-            num_files=num_files, seed=seed if seed is not None else num_files
+    key = (num_files, seed if seed is not None else num_files)
+    if key not in _EC2_MEMO:
+        _EC2_MEMO[key] = run_ec2_experiment_parallel(
+            num_files=key[0], seed=key[1], cache=EC2_CACHE
         )
-    return _EC2_CACHE[num_files]
+    return _EC2_MEMO[key]
 
 
 def write_report(name: str, text: str) -> pathlib.Path:
@@ -39,7 +65,38 @@ def write_report(name: str, text: str) -> pathlib.Path:
     return path
 
 
+def record_metric(name: str, value: float) -> None:
+    """Register a measured number for the session's BENCH_results.json."""
+    _METRICS[name] = float(value)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    try:
+        return (yield)
+    finally:
+        _TIMINGS[item.nodeid] = round(time.perf_counter() - start, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    payload = {
+        "schema": 1,
+        "exit_status": int(exitstatus),
+        "cache": {
+            "dir": str(CACHE_DIR),
+            "hits": EC2_CACHE.hits,
+            "misses": EC2_CACHE.misses,
+        },
+        "timings_seconds": dict(sorted(_TIMINGS.items())),
+        "metrics": dict(sorted(_METRICS.items())),
+    }
+    (ROOT / "BENCH_results.json").write_text(json.dumps(payload, indent=2) + "\n")

@@ -39,6 +39,30 @@ def build_parser() -> argparse.ArgumentParser:
     ec2.add_argument("--files", type=int, default=20)
     ec2.add_argument("--nodes", type=int, default=50)
     ec2.add_argument("--seed", type=int, default=0)
+    ec2.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the scheme runs (default: CPU count)",
+    )
+    ec2.add_argument(
+        "--cache-dir",
+        default=None,
+        help="reuse/store results in this on-disk cache directory",
+    )
+
+    montecarlo = sub.add_parser(
+        "montecarlo",
+        help="batched Gillespie validation of the analytic MTTDL solver",
+    )
+    montecarlo.add_argument("--trials", type=int, default=10_000)
+    montecarlo.add_argument(
+        "--repair-scale",
+        type=float,
+        default=1e-6,
+        help="repair-rate compression making absorption simulable",
+    )
+    montecarlo.add_argument("--seed", type=int, default=0)
 
     facebook = sub.add_parser("facebook", help="run the Table 3 experiment")
     facebook.add_argument("--files", type=int, default=200)
@@ -125,11 +149,18 @@ def _cmd_fig1(days: int, seed: int) -> int:
     return 0
 
 
-def _cmd_ec2(files: int, nodes: int, seed: int) -> int:
-    from .experiments import format_table, run_ec2_experiment
+def _cmd_ec2(
+    files: int, nodes: int, seed: int, jobs: int | None, cache_dir: str | None
+) -> int:
+    from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
 
+    cache = ResultCache(cache_dir) if cache_dir else None
     print(f"Running EC2 experiment: {files} files, {nodes} slaves ...")
-    result = run_ec2_experiment(num_files=files, num_nodes=nodes, seed=seed)
+    result = run_ec2_experiment_parallel(
+        num_files=files, num_nodes=nodes, seed=seed, jobs=jobs, cache=cache
+    )
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) in {cache.root}")
     rows = []
     for run in result.runs():
         for event in run.events:
@@ -150,6 +181,48 @@ def _cmd_ec2(files: int, nodes: int, seed: int) -> int:
         )
     )
     return 0
+
+
+def _cmd_montecarlo(trials: int, repair_scale: float, seed: int) -> int:
+    import numpy as np
+
+    from .codes import rs_10_4, three_replication, xorbas_lrc
+    from .experiments import format_table
+    from .reliability import ClusterReliabilityParameters, simulate_scheme_mttdl
+
+    params = ClusterReliabilityParameters()
+    print(
+        f"Batched Gillespie validation: {trials} trajectories per scheme, "
+        f"repair rates compressed by {repair_scale:g} ..."
+    )
+    rows = []
+    all_consistent = True
+    for code in (three_replication(), rs_10_4(), xorbas_lrc()):
+        sim = simulate_scheme_mttdl(
+            code,
+            params,
+            repair_scale=repair_scale,
+            trials=trials,
+            rng=np.random.default_rng(seed),
+        )
+        rows.append(
+            (
+                sim.name,
+                f"{sim.analytic_seconds:.4e}",
+                f"{sim.estimate.mean_seconds:.4e}",
+                f"{sim.estimate.std_error:.2e}",
+                "yes" if sim.consistent else "NO",
+            )
+        )
+        all_consistent = all_consistent and sim.consistent
+    print(
+        format_table(
+            ["scheme", "analytic s", "simulated s", "std err", "within 3 sigma"],
+            rows,
+            title="Compressed-chain MTTA: closed form vs batched simulation",
+        )
+    )
+    return 0 if all_consistent else 1
 
 
 def _cmd_facebook(files: int, seed: int) -> int:
@@ -286,7 +359,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "fig1":
         return _cmd_fig1(args.days, args.seed)
     if args.command == "ec2":
-        return _cmd_ec2(args.files, args.nodes, args.seed)
+        return _cmd_ec2(args.files, args.nodes, args.seed, args.jobs, args.cache_dir)
+    if args.command == "montecarlo":
+        return _cmd_montecarlo(args.trials, args.repair_scale, args.seed)
     if args.command == "facebook":
         return _cmd_facebook(args.files, args.seed)
     if args.command == "workload":

@@ -9,7 +9,7 @@ collector also keeps 5-minute-bucket time series to regenerate Figure 5.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TimeSeries", "MetricsCollector", "FailureEventRecord"]
 

@@ -94,7 +94,12 @@ class Network:
         self.rack_of = rack_of or {}
         self.rack_bandwidth = rack_bandwidth
         self.cross_rack_bytes = 0.0
-        self.flows: set[Transfer] = set()
+        # Insertion-ordered so every iteration (settling, allocation,
+        # bottleneck scans) visits flows in start order.  A plain set of
+        # Transfer objects iterates in id()-hash order, which varies
+        # between interpreter runs and made simulations irreproducible
+        # at the float-accumulation level.
+        self.flows: dict[Transfer, None] = {}
 
     def _is_cross_rack(self, flow: Transfer) -> bool:
         if not self.rack_of:
@@ -145,7 +150,7 @@ class Network:
             self.sim.schedule(0.0, lambda: self._finish(flow))
             return flow
         self._settle()
-        self.flows.add(flow)
+        self.flows[flow] = None
         self._reallocate()
         return flow
 
@@ -156,7 +161,7 @@ class Network:
             return
         self._settle()
         for flow in victims:
-            self.flows.discard(flow)
+            self.flows.pop(flow, None)
             if flow.completion_event is not None:
                 flow.completion_event.cancel()
             flow.done = True
@@ -224,15 +229,18 @@ class Network:
         if not network_flows:
             return rates
         remaining: dict[tuple, float] = {}
-        members: dict[tuple, set[Transfer]] = {}
+        # Membership maps are insertion-ordered dicts (not sets) so the
+        # water-filling loop below — including min()'s tie-breaking and
+        # the order shares are subtracted in — is deterministic.
+        members: dict[tuple, dict[Transfer, None]] = {}
         flow_resources = {flow: self._resources_for(flow) for flow in network_flows}
         for flow, resources in flow_resources.items():
             for resource in resources:
                 if resource not in remaining:
                     remaining[resource] = self._capacity_of(resource)
-                    members[resource] = set()
-                members[resource].add(flow)
-        unfrozen = set(network_flows)
+                    members[resource] = {}
+                members[resource][flow] = None
+        unfrozen = len(network_flows)
         while unfrozen:
             bottleneck = min(
                 (res for res in members if members[res]),
@@ -241,11 +249,11 @@ class Network:
             share = remaining[bottleneck] / len(members[bottleneck])
             for flow in tuple(members[bottleneck]):
                 rates[flow] = share
-                unfrozen.discard(flow)
+                unfrozen -= 1
                 for resource in flow_resources[flow]:
-                    members[resource].discard(flow)
+                    members[resource].pop(flow, None)
                     remaining[resource] -= share
-            members[bottleneck] = set()
+            members[bottleneck] = {}
         return rates
 
     def _complete(self, flow: Transfer) -> None:
@@ -257,7 +265,7 @@ class Network:
             self._attribute(flow, flow.remaining, flow.last_update, self.sim.now)
             flow.remaining = 0.0
         flow.done = True
-        self.flows.discard(flow)
+        self.flows.pop(flow, None)
         if self.flows:
             self._reallocate()
         flow.on_complete()

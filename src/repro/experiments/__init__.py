@@ -22,11 +22,15 @@ from .ec2 import (
     EC2_FILE_SIZE,
     PAPER_BLOCKS_READ_PER_LOST,
     EC2ExperimentResult,
+    EC2ExperimentSummary,
     fig6_slopes,
     least_squares_slope,
     run_all_ec2_experiments,
+    run_all_ec2_experiments_parallel,
     run_ec2_experiment,
+    run_ec2_experiment_parallel,
 )
+from .parallel import ResultCache, config_hash, default_jobs, parallel_map
 from .facebook import (
     FACEBOOK_NUM_FILES,
     PAPER_TABLE3,
@@ -49,7 +53,12 @@ from .tradeoff import (
     verify_frontier,
 )
 from .report import format_bar_chart, format_series, format_table
-from .runner import SchemeRun, build_loaded_cluster, run_failure_schedule
+from .runner import (
+    SchemeRun,
+    SchemeRunSummary,
+    build_loaded_cluster,
+    run_failure_schedule,
+)
 from .traces import generate_fig1_trace, render_fig1
 from .workload import (
     PAPER_TABLE2,
@@ -82,10 +91,17 @@ __all__ = [
     "EC2_FILE_SIZE",
     "PAPER_BLOCKS_READ_PER_LOST",
     "EC2ExperimentResult",
+    "EC2ExperimentSummary",
     "fig6_slopes",
     "least_squares_slope",
     "run_all_ec2_experiments",
+    "run_all_ec2_experiments_parallel",
     "run_ec2_experiment",
+    "run_ec2_experiment_parallel",
+    "ResultCache",
+    "config_hash",
+    "default_jobs",
+    "parallel_map",
     "FACEBOOK_NUM_FILES",
     "PAPER_TABLE3",
     "FacebookRow",
@@ -98,6 +114,7 @@ __all__ = [
     "format_series",
     "format_table",
     "SchemeRun",
+    "SchemeRunSummary",
     "build_loaded_cluster",
     "run_failure_schedule",
     "generate_fig1_trace",

@@ -10,24 +10,35 @@ files; Figure 4/5 report the 200-file run, Figure 6 pools all three.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..codes.lrc import xorbas_lrc
 from ..codes.reed_solomon import rs_10_4
 from ..cluster import EC2_FAILURE_PATTERN, ec2_config
-from .runner import SchemeRun, run_failure_schedule
+from .parallel import ResultCache, parallel_map
+from .runner import SchemeRun, SchemeRunSummary, run_failure_schedule
 
 __all__ = [
     "EC2_FILE_SIZE",
+    "EC2_SCHEME_CODES",
     "EC2ExperimentResult",
+    "EC2ExperimentSummary",
     "run_ec2_experiment",
+    "run_ec2_experiment_parallel",
     "run_all_ec2_experiments",
+    "run_all_ec2_experiments_parallel",
+    "run_scheme_config",
+    "scheme_config",
     "least_squares_slope",
     "fig6_slopes",
 ]
 
 EC2_FILE_SIZE = 640e6  # one full stripe per file (Section 5.2)
+
+#: The two systems under comparison, by the name their runs carry.
+EC2_SCHEME_CODES = {"HDFS-RS": rs_10_4, "HDFS-Xorbas": xorbas_lrc}
 
 #: Paper reference values for Figure 6's least-squares slopes: average
 #: blocks read per lost block (Section 5.2.1).
@@ -44,6 +55,128 @@ class EC2ExperimentResult:
 
     def runs(self) -> list[SchemeRun]:
         return [self.rs, self.xorbas]
+
+    def summary(self) -> "EC2ExperimentSummary":
+        return EC2ExperimentSummary(
+            num_files=self.num_files,
+            rs=self.rs.summary(),
+            xorbas=self.xorbas.summary(),
+        )
+
+
+@dataclass
+class EC2ExperimentSummary:
+    """Picklable view of an EC2 experiment — what workers and the
+    on-disk cache exchange, and what the figure harnesses consume."""
+
+    num_files: int
+    rs: SchemeRunSummary
+    xorbas: SchemeRunSummary
+
+    def runs(self) -> list[SchemeRunSummary]:
+        return [self.rs, self.xorbas]
+
+
+def scheme_config(
+    scheme: str,
+    num_files: int = 200,
+    seed: int = 0,
+    num_nodes: int = 50,
+    pattern: tuple[int, ...] = EC2_FAILURE_PATTERN,
+    event_gap: float = 900.0,
+) -> dict[str, Any]:
+    """One scheme/seed configuration as plain JSON-serialisable values.
+
+    This is the unit the parallel runner fans out and the cache keys on:
+    every field that influences the simulation's outcome is present, so
+    equal hashes imply equal results.
+    """
+    if scheme not in EC2_SCHEME_CODES:
+        raise ValueError(f"unknown scheme {scheme!r} (use {sorted(EC2_SCHEME_CODES)})")
+    return {
+        "experiment": "ec2-failure-schedule",
+        "scheme": scheme,
+        "num_files": num_files,
+        "seed": seed,
+        "num_nodes": num_nodes,
+        "pattern": list(pattern),
+        "event_gap": event_gap,
+        "file_size": EC2_FILE_SIZE,
+    }
+
+
+def run_scheme_config(config: Mapping[str, Any]) -> SchemeRunSummary:
+    """Worker entry point: simulate one scheme configuration.
+
+    Module-level so it pickles into ``multiprocessing`` workers; takes
+    and returns only picklable values.
+    """
+    code = EC2_SCHEME_CODES[config["scheme"]]()
+    run = run_failure_schedule(
+        config["scheme"],
+        code,
+        ec2_config(num_nodes=config["num_nodes"]),
+        [config["file_size"]] * config["num_files"],
+        tuple(config["pattern"]),
+        seed=config["seed"],
+        event_gap=config["event_gap"],
+    )
+    return run.summary()
+
+
+def run_ec2_experiment_parallel(
+    num_files: int = 200,
+    seed: int = 0,
+    num_nodes: int = 50,
+    pattern: tuple[int, ...] = EC2_FAILURE_PATTERN,
+    event_gap: float = 900.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> EC2ExperimentSummary:
+    """The EC2 experiment via the parallel runner: the two clusters are
+    independent simulations, so they fan across workers, and each
+    scheme's result is cached on disk independently."""
+    if num_files < 1:
+        raise ValueError("need at least one file")
+    configs = [
+        scheme_config(
+            scheme,
+            num_files=num_files,
+            seed=seed,
+            num_nodes=num_nodes,
+            pattern=pattern,
+            event_gap=event_gap,
+        )
+        for scheme in ("HDFS-RS", "HDFS-Xorbas")
+    ]
+    rs, xorbas = parallel_map(
+        run_scheme_config, configs, jobs=jobs, cache=cache, namespace="ec2"
+    )
+    return EC2ExperimentSummary(num_files=num_files, rs=rs, xorbas=xorbas)
+
+
+def run_all_ec2_experiments_parallel(
+    file_counts: tuple[int, ...] = (50, 100, 200),
+    seed: int = 0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[EC2ExperimentSummary]:
+    """All experiment sizes at once: every (scheme, size) pair is one
+    worker task, so the full Figure 6 sweep parallelises six ways."""
+    configs = [
+        scheme_config(scheme, num_files=count, seed=seed + index)
+        for index, count in enumerate(file_counts)
+        for scheme in ("HDFS-RS", "HDFS-Xorbas")
+    ]
+    summaries = parallel_map(
+        run_scheme_config, configs, jobs=jobs, cache=cache, namespace="ec2"
+    )
+    return [
+        EC2ExperimentSummary(
+            num_files=count, rs=summaries[2 * i], xorbas=summaries[2 * i + 1]
+        )
+        for i, count in enumerate(file_counts)
+    ]
 
 
 def run_ec2_experiment(
@@ -93,7 +226,9 @@ def least_squares_slope(xs: list[float], ys: list[float]) -> float:
     return float((x * y).sum() / denominator)
 
 
-def fig6_slopes(results: list[EC2ExperimentResult]) -> dict[str, dict[str, float]]:
+def fig6_slopes(
+    results: Sequence[EC2ExperimentResult | EC2ExperimentSummary],
+) -> dict[str, dict[str, float]]:
     """Least-squares slopes of the Figure 6 scatter, per scheme.
 
     Returns, for each scheme, the average blocks read per lost block,
@@ -111,7 +246,7 @@ def fig6_slopes(results: list[EC2ExperimentResult]) -> dict[str, dict[str, float
                 read.append(event.hdfs_bytes_read)
                 net.append(event.network_out_bytes)
                 dur.append(event.repair_duration)
-        block_size = runs[0].cluster.config.block_size
+        block_size = runs[0].config.block_size
         out[scheme] = {
             "blocks_read_per_lost": least_squares_slope(
                 lost, [r / block_size for r in read]

@@ -21,8 +21,50 @@ from ..cluster import (
     FailureInjector,
     HadoopCluster,
 )
+from ..cluster.blocks import BlockId
+from ..cluster.metrics import MetricsCollector
 
-__all__ = ["SchemeRun", "build_loaded_cluster", "run_failure_schedule"]
+__all__ = [
+    "SchemeRun",
+    "SchemeRunSummary",
+    "build_loaded_cluster",
+    "run_failure_schedule",
+]
+
+
+def _run_totals(
+    events: list[FailureEventRecord], metrics: MetricsCollector
+) -> dict[str, float]:
+    """The headline totals both run views report, computed one way."""
+    return {
+        "blocks_lost": sum(e.blocks_lost for e in events),
+        "hdfs_bytes_read": metrics.hdfs_bytes_read,
+        "network_out_bytes": metrics.network_out_bytes,
+        "repair_minutes": sum(e.repair_duration for e in events) / 60.0,
+    }
+
+
+@dataclass
+class SchemeRunSummary:
+    """The measurements of one schedule run, detached from the cluster.
+
+    A :class:`SchemeRun` holds the live simulation (whose event queue is
+    full of closures and cannot cross a process boundary); this summary
+    carries everything the figures consume — events, metric series,
+    config, final health — and pickles cleanly, so it is what the
+    parallel runner ships back from workers and what the on-disk cache
+    stores.
+    """
+
+    scheme: str
+    config: ClusterConfig
+    events: list[FailureEventRecord]
+    metrics: MetricsCollector
+    fsck: dict[str, int]
+    data_loss_events: list[BlockId]
+
+    def totals(self) -> dict[str, float]:
+        return _run_totals(self.events, self.metrics)
 
 
 @dataclass
@@ -38,13 +80,23 @@ class SchemeRun:
     def metrics(self):
         return self.cluster.metrics
 
+    @property
+    def config(self) -> ClusterConfig:
+        return self.cluster.config
+
     def totals(self) -> dict[str, float]:
-        return {
-            "blocks_lost": sum(e.blocks_lost for e in self.events),
-            "hdfs_bytes_read": self.metrics.hdfs_bytes_read,
-            "network_out_bytes": self.metrics.network_out_bytes,
-            "repair_minutes": sum(e.repair_duration for e in self.events) / 60.0,
-        }
+        return _run_totals(self.events, self.metrics)
+
+    def summary(self) -> SchemeRunSummary:
+        """Freeze the measurements into a picklable summary."""
+        return SchemeRunSummary(
+            scheme=self.scheme,
+            config=self.cluster.config,
+            events=list(self.events),
+            metrics=self.cluster.metrics,
+            fsck=self.cluster.fsck(),
+            data_loss_events=list(self.cluster.data_loss_events),
+        )
 
 
 def build_loaded_cluster(

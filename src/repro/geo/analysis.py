@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
-from ..codes.base import ErasureCode
 from ..codes.lrc import xorbas_lrc
 from ..codes.reed_solomon import rs_10_4
 from ..codes.replication import three_replication

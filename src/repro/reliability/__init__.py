@@ -22,13 +22,16 @@ from .montecarlo import (
     compress_chain,
     estimate_mttdl,
     simulate_time_to_absorption,
+    simulate_times_to_absorption,
 )
 from .models import (
     ClusterReliabilityParameters,
     SchemeReliability,
+    SchemeSimulation,
     analyze_scheme,
     build_chain,
     expected_reads_per_state,
+    simulate_scheme_mttdl,
 )
 from .mttdl import PAPER_TABLE1, PaperTable1Row, compute_table1, mttdl_zeros
 from .sensitivity import (
@@ -64,6 +67,9 @@ __all__ = [
     "compress_chain",
     "estimate_mttdl",
     "simulate_time_to_absorption",
+    "simulate_times_to_absorption",
+    "SchemeSimulation",
+    "simulate_scheme_mttdl",
     "ArchivalRow",
     "SweepPoint",
     "archival_comparison",

@@ -7,6 +7,19 @@ machinery by *simulating* the same chain with the Gillespie algorithm
 branching) and comparing the empirical mean absorption time with the
 closed form.
 
+Two simulation engines share the estimator:
+
+* :func:`simulate_times_to_absorption` — the batched engine.  All
+  trajectories advance *simultaneously*: each synchronous step samples
+  one sojourn and one jump direction per live trajectory as a single
+  vectorized draw, and trajectories that hit the absorbing state retire
+  from the live axis.  The Python-level loop runs once per transition
+  *depth* instead of once per transition, so ten thousand trials cost
+  barely more interpreter time than one.
+* :func:`simulate_time_to_absorption` — the original one-trajectory
+  scalar loop, kept as the reference implementation the batched engine
+  is validated against.
+
 At the paper's actual operating point the stripe MTTDL is ~10^13 days
 while individual transitions occur on hour timescales, so simulating a
 production chain to absorption would take ~10^14 steps — this is
@@ -30,6 +43,7 @@ from .markov import BirthDeathChain
 __all__ = [
     "AbsorptionEstimate",
     "simulate_time_to_absorption",
+    "simulate_times_to_absorption",
     "estimate_mttdl",
     "compress_chain",
     "simulate_occupancy",
@@ -72,6 +86,58 @@ def simulate_time_to_absorption(
     )
 
 
+def simulate_times_to_absorption(
+    chain: BirthDeathChain,
+    rng: np.random.Generator,
+    trials: int,
+    start: int = 0,
+    max_steps: int = 10_000_000,
+) -> np.ndarray:
+    """Batched Gillespie: absorption times of ``trials`` trajectories.
+
+    Every trajectory is advanced in lockstep.  A step gathers the rates
+    of each live trajectory's current state, draws all sojourns and all
+    jump directions at once, and retires the trajectories that reached
+    the absorbing state; the loop ends when the live axis is empty.
+    Statistically identical to calling
+    :func:`simulate_time_to_absorption` ``trials`` times (both sample
+    the exact jump-chain law), but the per-transition work is a handful
+    of numpy kernels over the live axis instead of Python bytecode.
+
+    ``max_steps`` bounds the transition count of any single trajectory;
+    exceeding it raises RuntimeError exactly like the scalar engine
+    (the signature of a repair-dominant chain — compress it first).
+    """
+    if not 0 <= start < chain.num_transient:
+        raise ValueError(f"start state {start} out of range")
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    absorbing = chain.num_transient
+    # Per-state rate tables, indexed by current state.
+    fail = np.asarray(chain.failure_rates, dtype=np.float64)
+    repair = np.concatenate(([0.0], np.asarray(chain.repair_rates, dtype=np.float64)))
+    total = fail + repair
+    up_probability = fail / total
+
+    state = np.full(trials, start, dtype=np.int64)
+    clock = np.zeros(trials, dtype=np.float64)
+    live = np.arange(trials)
+    for _ in range(max_steps):
+        here = state[live]
+        clock[live] += rng.exponential(size=live.size) / total[here]
+        up = rng.random(live.size) < up_probability[here]
+        state[live] = here + np.where(up, 1, -1)
+        absorbed = state[live] == absorbing
+        if absorbed.any():
+            live = live[~absorbed]
+            if live.size == 0:
+                return clock
+    raise RuntimeError(
+        f"{live.size} of {trials} trajectories not absorbed within "
+        f"{max_steps} steps; compress the chain before simulating"
+    )
+
+
 @dataclass(frozen=True)
 class AbsorptionEstimate:
     """Empirical mean time to absorption with its standard error."""
@@ -94,14 +160,29 @@ def estimate_mttdl(
     rng: np.random.Generator | None = None,
     trials: int = 400,
     start: int = 0,
+    method: str = "batched",
 ) -> AbsorptionEstimate:
-    """Empirical MTTDL of a stripe chain over independent trajectories."""
+    """Empirical MTTDL of a stripe chain over independent trajectories.
+
+    ``method="batched"`` (the default) advances all trajectories
+    simultaneously; ``method="loop"`` runs the reference one-at-a-time
+    engine.  The two draw different variates from the same ``rng`` but
+    sample the identical distribution.
+    """
     if trials < 2:
         raise ValueError("need at least two trials for a standard error")
     rng = rng if rng is not None else np.random.default_rng(0)
-    times = np.array(
-        [simulate_time_to_absorption(chain, rng, start=start) for _ in range(trials)]
-    )
+    if method == "batched":
+        times = simulate_times_to_absorption(chain, rng, trials, start=start)
+    elif method == "loop":
+        times = np.array(
+            [
+                simulate_time_to_absorption(chain, rng, start=start)
+                for _ in range(trials)
+            ]
+        )
+    else:
+        raise ValueError(f"unknown method {method!r} (use 'batched' or 'loop')")
     return AbsorptionEstimate(
         mean_seconds=float(times.mean()),
         std_error=float(times.std(ddof=1) / math.sqrt(trials)),

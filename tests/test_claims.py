@@ -16,6 +16,7 @@ def results():
     return {r.claim.id: r for r in check_all_claims()}
 
 
+@pytest.mark.slow
 class TestLedger:
     def test_every_claim_holds(self, results):
         failing = [cid for cid, r in results.items() if not r.holds]

@@ -18,9 +18,24 @@ class TestParser:
         args = build_parser().parse_args(["ec2"])
         assert args.files == 20
         assert args.nodes == 50
+        assert args.jobs is None
+        assert args.cache_dir is None
+
+    def test_ec2_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["ec2", "--jobs", "2", "--cache-dir", "/tmp/repro-cache"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/repro-cache"
+
+    def test_montecarlo_defaults(self):
+        args = build_parser().parse_args(["montecarlo"])
+        assert args.trials == 10_000
+        assert args.repair_scale == pytest.approx(1e-6)
 
 
 class TestCommands:
+    @pytest.mark.slow  # exhaustive distance certification over all patterns
     def test_certify(self, capsys):
         assert main(["certify"]) == 0
         out = capsys.readouterr().out

@@ -22,6 +22,8 @@ from repro.cluster import (
 from repro.codes import rs_10_4, xorbas_lrc
 from repro.experiments.runner import run_until_quiescent
 
+pytestmark = pytest.mark.slow  # drives full cluster simulations
+
 
 def small_config(**overrides):
     base = dict(

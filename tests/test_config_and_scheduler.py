@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ClusterConfig, MapReduceJob, Task, ec2_config, facebook_config
+from repro.cluster import MapReduceJob, Task, ec2_config, facebook_config
 from repro.cluster.blocks import block_kind
 from repro.codes import rs_10_4, xorbas_lrc
 

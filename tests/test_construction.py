@@ -60,6 +60,7 @@ class TestDeterministicLRC:
         with pytest.raises(ValueError):
             deterministic_lrc(4, 24, 2, field=GF16)
 
+    @pytest.mark.slow
     def test_gf16_pool_suffices_for_stripe_scale(self):
         # A full-pool selection over the small field still achieves the
         # bound — the Vandermonde pool is near-generic.

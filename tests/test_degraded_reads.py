@@ -1,6 +1,5 @@
 """Tests for the degraded-read availability simulation."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.degraded import (

@@ -10,7 +10,6 @@ import importlib
 import pathlib
 import re
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DESIGN = (ROOT / "DESIGN.md").read_text()

@@ -12,7 +12,7 @@ from repro.codes.errors import (
     max_correctable_corruptions,
     pgz_locate_column,
 )
-from repro.galois import GF16, GF256
+from repro.galois import GF16
 
 
 def corrupt(coded: np.ndarray, blocks, rng) -> np.ndarray:

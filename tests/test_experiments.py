@@ -19,7 +19,6 @@ from repro.experiments import (
     render_table1,
     run_ec2_experiment,
     run_facebook_experiment,
-    run_failure_schedule,
     run_workload_scenario,
     table1_comparison,
 )
@@ -111,8 +110,6 @@ class TestFacebookHarness:
 class TestWorkloadHarness:
     @pytest.fixture(scope="class")
     def scenarios(self):
-        import repro.experiments.workload as w
-
         baseline = run_workload_scenario("base", xorbas_lrc(), 0.0, seed=3)
         rs = run_workload_scenario("rs", rs_10_4(), 0.2, seed=3)
         xorbas = run_workload_scenario("xorbas", xorbas_lrc(), 0.2, seed=3)

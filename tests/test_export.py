@@ -79,6 +79,7 @@ class TestFileFormats:
         assert path.exists()
 
 
+@pytest.mark.slow
 class TestRealHarnesses:
     def test_baselines_export(self, tmp_path):
         path = export_csv(compare_baselines(), tmp_path / "baselines.csv")

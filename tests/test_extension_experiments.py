@@ -19,6 +19,7 @@ from repro.experiments.geo import (
 )
 
 
+@pytest.mark.slow
 class TestBaselinesHarness:
     @pytest.fixture(scope="class")
     def rows(self):
@@ -129,6 +130,7 @@ class TestArchivalHarness:
         assert "MTTDL" in text
 
 
+@pytest.mark.slow
 class TestCliExtensions:
     def test_baselines_command(self, capsys):
         assert main(["baselines"]) == 0

@@ -8,11 +8,14 @@ separate code path worth pinning.
 
 import numpy as np
 import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codes import ReedSolomonCode, make_lrc
 from repro.galois import GF
+
+pytestmark = pytest.mark.slow  # builds uint16 field tables
 
 GF1024 = GF(10)
 GF65536 = GF(16)

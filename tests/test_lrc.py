@@ -8,14 +8,11 @@ from itertools import combinations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.codes import (
     DecodingError,
     LocalGroup,
     LocallyRepairableCode,
-    achieves_locality_bound,
     certify_distance,
     certify_locality,
     locality_distance_bound,
@@ -93,6 +90,7 @@ class TestConstruction:
             )
 
 
+@pytest.mark.slow
 class TestTheorem5:
     """The paper's Theorem 5: locality 5 for all blocks, optimal d = 5."""
 

@@ -7,12 +7,10 @@ drift would be silent.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.codes import (
-    DecodingError,
     PolynomialRSCode,
     PyramidCode,
     ReedSolomonCode,

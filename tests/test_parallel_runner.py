@@ -1,0 +1,172 @@
+"""The parallel experiment runner and its on-disk result cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    config_hash,
+    parallel_map,
+)
+from repro.experiments.ec2 import (
+    run_ec2_experiment_parallel,
+    run_scheme_config,
+    scheme_config,
+)
+
+SMALL = dict(num_files=3, seed=5, num_nodes=20, pattern=(1, 2), event_gap=120.0)
+
+
+def _double(config):
+    """Module-level worker so it pickles into pool processes."""
+    return config["x"] * 2
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == config_hash({"b": [2, 3], "a": 1})
+
+    def test_value_sensitivity(self):
+        base = {"scheme": "HDFS-RS", "seed": 0}
+        assert config_hash(base) != config_hash({**base, "seed": 1})
+        assert config_hash(base) != config_hash({**base, "scheme": "HDFS-Xorbas"})
+
+    def test_scheme_config_hash_covers_every_knob(self):
+        base = scheme_config("HDFS-RS", **SMALL)
+        for knob, changed in [
+            ("num_files", 4),
+            ("seed", 6),
+            ("num_nodes", 25),
+            ("pattern", [2, 1]),
+            ("event_gap", 60.0),
+        ]:
+            assert config_hash({**base, knob: changed}) != config_hash(base), knob
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"a": 1}, namespace="unit")
+        assert key.startswith(f"unit-v{CACHE_FORMAT_VERSION}-")
+        assert cache.get(key) is None
+        cache.put(key, {"value": [1, 2, 3]})
+        assert key in cache
+        assert cache.get(key) == {"value": [1, 2, 3]}
+        assert len(cache) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"a": 1})
+        cache.put(key, "good")
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        cache.put(key, "rewritten")
+        assert cache.get(key) == "rewritten"
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key_for({"i": i}), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_version_bump_invalidates(self, tmp_path):
+        """The cache key embeds the format version, so bumping it
+        orphans (rather than wrongly reuses) old entries."""
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"a": 1}, namespace="ec2")
+        assert f"-v{CACHE_FORMAT_VERSION}-" in key
+        other_version = key.replace(
+            f"-v{CACHE_FORMAT_VERSION}-", f"-v{CACHE_FORMAT_VERSION + 1}-"
+        )
+        cache.put(key, "old")
+        assert cache.get(other_version) is None
+
+
+class TestParallelMap:
+    def test_results_in_config_order(self, tmp_path):
+        configs = [{"x": i} for i in range(7)]
+        assert parallel_map(_double, configs, jobs=1) == [i * 2 for i in range(7)]
+
+    def test_fans_across_processes(self):
+        configs = [{"x": i} for i in range(5)]
+        assert parallel_map(_double, configs, jobs=2) == [0, 2, 4, 6, 8]
+
+    def test_cache_hits_skip_the_worker(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def counting(config):
+            calls.append(config["x"])
+            return config["x"] * 2
+
+        configs = [{"x": 1}, {"x": 2}]
+        first = parallel_map(counting, configs, jobs=1, cache=cache, namespace="t")
+        second = parallel_map(counting, configs, jobs=1, cache=cache, namespace="t")
+        assert first == second == [2, 4]
+        assert calls == [1, 2]  # second pass never reached the worker
+        assert cache.hits == 2
+
+    def test_new_config_runs_fresh_alongside_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel_map(_double, [{"x": 1}], jobs=1, cache=cache)
+        results = parallel_map(_double, [{"x": 1}, {"x": 9}], jobs=1, cache=cache)
+        assert results == [2, 18]
+        assert cache.hits == 1 and cache.misses >= 1
+
+    def test_namespace_separates_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel_map(_double, [{"x": 3}], jobs=1, cache=cache, namespace="a")
+        calls = []
+
+        def other(config):
+            calls.append(config["x"])
+            return -config["x"]
+
+        result = parallel_map(other, [{"x": 3}], jobs=1, cache=cache, namespace="b")
+        assert result == [-3] and calls == [3]
+
+
+class TestEC2Pipeline:
+    @pytest.fixture(scope="class")
+    def cached_run(self, tmp_path_factory):
+        cache = ResultCache(tmp_path_factory.mktemp("ec2-cache"))
+        summary = run_ec2_experiment_parallel(**SMALL, jobs=1, cache=cache)
+        return cache, summary
+
+    def test_summary_is_picklable_and_complete(self, cached_run):
+        _, summary = cached_run
+        clone = pickle.loads(pickle.dumps(summary))
+        assert [run.scheme for run in clone.runs()] == ["HDFS-RS", "HDFS-Xorbas"]
+        for run in clone.runs():
+            assert run.fsck["missing_blocks"] == 0
+            assert not run.data_loss_events
+            assert len(run.events) == len(SMALL["pattern"])
+            assert run.metrics.hdfs_bytes_read > 0
+            assert run.config.num_nodes == SMALL["num_nodes"]
+
+    def test_second_session_is_pure_cache_reads(self, cached_run):
+        cache, summary = cached_run
+        again = run_ec2_experiment_parallel(**SMALL, jobs=1, cache=cache)
+        assert cache.hits == 2
+        for first, second in zip(summary.runs(), again.runs()):
+            assert first.totals() == second.totals()
+
+    def test_config_change_misses_the_cache(self, cached_run):
+        cache, _ = cached_run
+        misses_before = cache.misses
+        run_ec2_experiment_parallel(**{**SMALL, "seed": 6}, jobs=1, cache=cache)
+        assert cache.misses == misses_before + 2
+
+    def test_worker_matches_legacy_run(self):
+        """The parallel worker reproduces the legacy serial harness
+        exactly (same config, same seed, same measurements)."""
+        from repro.experiments.ec2 import run_ec2_experiment
+
+        legacy = run_ec2_experiment(**SMALL).summary()
+        worker = run_scheme_config(scheme_config("HDFS-RS", **SMALL))
+        assert worker.totals() == legacy.rs.totals()
+        assert [e.label for e in worker.events] == [e.label for e in legacy.rs.events]

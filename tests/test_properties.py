@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.codes import (
     DecodingError,
-    ReedSolomonCode,
     make_lrc,
     rs_10_4,
     xorbas_lrc,

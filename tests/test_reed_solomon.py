@@ -69,6 +69,7 @@ class TestEncodeDecode:
         assert coded.shape == (14, 32)
         assert np.array_equal(coded[:10], data)
 
+    @pytest.mark.slow  # all C(14, 4) erasure patterns
     def test_decode_from_any_10_of_14(self, rs):
         data = random_data(10, seed=1)
         coded = rs.encode(data)

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -12,7 +11,6 @@ from repro.reliability import (
     PAPER_TABLE1,
     BirthDeathChain,
     ClusterReliabilityParameters,
-    analyze_scheme,
     build_chain,
     compute_table1,
     degraded_read_delay,
@@ -100,6 +98,7 @@ class TestSchemeChains:
         assert expected_reads_per_state(three_replication(), 2) == [1.0, 1.0]
 
 
+@pytest.mark.slow
 class TestTable1:
     @pytest.fixture(scope="class")
     def rows(self):

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,6 +21,8 @@ from repro.reliability.sensitivity import (
     sweep_node_mttf,
     sweep_repair_epoch,
 )
+
+pytestmark = pytest.mark.slow  # Monte-Carlo statistics over many trajectories
 
 
 def _by_scheme(points, value):

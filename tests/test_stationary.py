@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codes import rs_10_4, three_replication, xorbas_lrc
-from repro.reliability import BirthDeathChain, ClusterReliabilityParameters
+from repro.reliability import ClusterReliabilityParameters
 from repro.reliability.montecarlo import simulate_occupancy
 from repro.reliability.stationary import (
     scheme_unavailability,
@@ -67,6 +67,7 @@ class TestStationaryDistribution:
             simulate_occupancy((1.0,), (), np.random.default_rng(0))
 
 
+@pytest.mark.slow
 class TestStripeUnavailability:
     def test_paper_operating_point_is_tiny(self):
         """At gamma = 1 Gb/s, a stripe is degraded for seconds out of

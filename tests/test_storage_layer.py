@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import BlockId, NameNode, PlacementError, Stripe
 from repro.cluster.metrics import FailureEventRecord, MetricsCollector, TimeSeries
-from repro.codes import rs_10_4, xorbas_lrc
+from repro.codes import xorbas_lrc
 
 
 def make_stripe(code=None, data_blocks=10, payload=32):
