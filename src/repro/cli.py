@@ -50,6 +50,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="reuse/store results in this on-disk cache directory",
     )
+    ec2.add_argument(
+        "--payload-bytes",
+        type=int,
+        default=None,  # resolved to DEFAULT_PAYLOAD_BYTES at dispatch
+        help=(
+            "verification payload bytes per block (the batched codec "
+            "engine makes KB-scale full-byte verification feasible)"
+        ),
+    )
+
+    codec = sub.add_parser(
+        "codec",
+        help="exercise the batched codec engine and print cache statistics",
+    )
+    codec.add_argument("--stripes", type=int, default=512)
+    codec.add_argument("--payload-bytes", type=int, default=1024)
+    codec.add_argument("--seed", type=int, default=0)
 
     montecarlo = sub.add_parser(
         "montecarlo",
@@ -150,14 +167,30 @@ def _cmd_fig1(days: int, seed: int) -> int:
 
 
 def _cmd_ec2(
-    files: int, nodes: int, seed: int, jobs: int | None, cache_dir: str | None
+    files: int,
+    nodes: int,
+    seed: int,
+    jobs: int | None,
+    cache_dir: str | None,
+    payload_bytes: int | None,
 ) -> int:
     from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
+    from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES
 
+    if payload_bytes is None:
+        payload_bytes = DEFAULT_PAYLOAD_BYTES
     cache = ResultCache(cache_dir) if cache_dir else None
-    print(f"Running EC2 experiment: {files} files, {nodes} slaves ...")
+    print(
+        f"Running EC2 experiment: {files} files, {nodes} slaves, "
+        f"{payload_bytes}-byte verification payloads ..."
+    )
     result = run_ec2_experiment_parallel(
-        num_files=files, num_nodes=nodes, seed=seed, jobs=jobs, cache=cache
+        num_files=files,
+        num_nodes=nodes,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        payload_bytes=payload_bytes,
     )
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) in {cache.root}")
@@ -181,6 +214,72 @@ def _cmd_ec2(
         )
     )
     return 0
+
+
+def _cmd_codec(stripes: int, payload_bytes: int, seed: int) -> int:
+    from time import perf_counter
+
+    import numpy as np
+
+    from .codes import pyramid_10_4, rs_10_4, xorbas_lrc
+    from .experiments import format_table
+
+    print(
+        f"Batched codec engine: {stripes} stripes x {payload_bytes} bytes "
+        "per block, encode + node-loss reconstruct per scheme ..."
+    )
+    rows = []
+    all_verified = True
+    for code in (rs_10_4(), xorbas_lrc(), pyramid_10_4()):
+        rng = np.random.default_rng(seed)
+        data = code.field.random_elements(rng, (stripes, code.k, payload_bytes))
+        start = perf_counter()
+        coded = code.encode_stripes(data)
+        encode_seconds = perf_counter() - start
+        # A node loss erases the same position in every stripe; repair it
+        # twice so the second pass exercises the decoder cache.
+        lost = (0, code.k)
+        available = {
+            p: coded[:, p, :] for p in range(code.n) if p not in lost
+        }
+        start = perf_counter()
+        rebuilt = code.reconstruct(lost, available)
+        code.reconstruct(lost, available)
+        reconstruct_seconds = (perf_counter() - start) / 2.0
+        verified = all(
+            np.array_equal(rebuilt[:, j, :], coded[:, p, :])
+            for j, p in enumerate(lost)
+        )
+        all_verified = all_verified and verified
+        stats = code.engine.stats()
+        mb = stripes * code.k * payload_bytes * code.field.dtype.itemsize / 1e6
+        rows.append(
+            (
+                code.name,
+                f"{mb / encode_seconds:.0f}",
+                f"{mb / reconstruct_seconds:.0f}",
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.stripes_encoded,
+                "yes" if verified else "NO",
+            )
+        )
+    print(
+        format_table(
+            [
+                "scheme",
+                "encode MB/s",
+                "rebuild MB/s",
+                "cache hits",
+                "misses",
+                "stripes",
+                "verified",
+            ],
+            rows,
+            title="Codec engine throughput and DecoderCache statistics",
+        )
+    )
+    return 0 if all_verified else 1
 
 
 def _cmd_montecarlo(trials: int, repair_scale: float, seed: int) -> int:
@@ -359,7 +458,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "fig1":
         return _cmd_fig1(args.days, args.seed)
     if args.command == "ec2":
-        return _cmd_ec2(args.files, args.nodes, args.seed, args.jobs, args.cache_dir)
+        return _cmd_ec2(
+            args.files,
+            args.nodes,
+            args.seed,
+            args.jobs,
+            args.cache_dir,
+            args.payload_bytes,
+        )
+    if args.command == "codec":
+        return _cmd_codec(args.stripes, args.payload_bytes, args.seed)
     if args.command == "montecarlo":
         return _cmd_montecarlo(args.trials, args.repair_scale, args.seed)
     if args.command == "facebook":

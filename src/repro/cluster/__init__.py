@@ -8,7 +8,7 @@ daemon with light/heavy decoders, plus failure injection and metric
 collection at the paper's 5-minute monitoring resolution.
 """
 
-from .blocks import BlockId, StoredFile, Stripe
+from .blocks import BlockId, StoredFile, Stripe, encode_stripe_payloads
 from .blockfixer import BlockFixer, LightRepairTask, StripeRepairTask
 from .config import ClusterConfig, ec2_config, facebook_config
 from .decommission import DecommissionManager, RecreateBlockTask
@@ -44,6 +44,7 @@ __all__ = [
     "BlockId",
     "StoredFile",
     "Stripe",
+    "encode_stripe_payloads",
     "BlockFixer",
     "LightRepairTask",
     "StripeRepairTask",

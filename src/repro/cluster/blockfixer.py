@@ -12,22 +12,36 @@ jobs.  Two decoding paths, exactly as in HDFS-Xorbas:
   deployed HDFS-RS BlockFixer uses one task per stripe that rebuilds all
   of the stripe's missing blocks from one pass over the survivors.
 
-Repairs run on the stripes' miniature real payloads, so every rebuilt
-block is verified bit-for-bit against ground truth.
+Light-vs-heavy selection is delegated to the code's
+:class:`~repro.codes.engine.RepairPlanner` — the tasks only execute the
+decision.  Repairs run on the stripes' miniature real payloads, so every
+rebuilt block is verified bit-for-bit against ground truth; a scan pass
+precomputes those payload rebuilds for *all* of its stripes in batched
+codec-engine calls (grouped by erasure pattern), so a node failure
+hitting thousands of stripes costs a handful of cached-matrix batch
+products instead of one Gaussian elimination per stripe.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from typing import TYPE_CHECKING, Callable
 
-from .blocks import BlockId, Stripe
+import numpy as np
+
+from .blocks import BlockId, Stripe, encode_stripe_payloads
 from .mapreduce import MapReduceJob, Task
 
 if TYPE_CHECKING:
     from .hdfs import HadoopCluster
 
-__all__ = ["BlockFixer", "LightRepairTask", "StripeRepairTask"]
+__all__ = [
+    "BlockFixer",
+    "LightRepairTask",
+    "PayloadRepairBatch",
+    "StripeRepairTask",
+]
 
 
 class RepairVerificationError(Exception):
@@ -47,14 +61,135 @@ def _payload_map(stripe: Stripe, positions: set[int]):
     return {p: stripe.payload[p] for p in positions}
 
 
+class PayloadRepairBatch:
+    """Precomputed payload rebuilds for one BlockFixer scan pass.
+
+    At scan time every dirty stripe is registered with its missing
+    positions and usable pattern; stripes sharing a pattern are stacked
+    and rebuilt through the codec engine in one call (cached
+    reconstruction matrix + one batched product, or one batched XOR per
+    light plan).  Repair tasks then fetch their block's precomputed
+    rebuild at verify time — falling back to the scalar path if the
+    erasure pattern *or the survivor bytes themselves* changed while the
+    task was in flight (each entry carries a CRC of the survivor
+    payloads it was computed from, so an in-place corruption between
+    scan and verify cannot be masked by a stale rebuild).
+    """
+
+    def __init__(self) -> None:
+        self._rebuilt: dict[tuple, tuple[int, np.ndarray]] = {}
+        self.groups = 0
+        self.stripes = 0
+
+    @staticmethod
+    def _key(stripe: Stripe, position: int, usable: frozenset) -> tuple:
+        return (stripe.file_name, stripe.index, position, usable)
+
+    @staticmethod
+    def _fingerprint(payloads: dict[int, np.ndarray]) -> int:
+        """CRC over the survivor bytes, in sorted position order."""
+        crc = 0
+        for position in sorted(payloads):
+            crc = zlib.crc32(
+                np.ascontiguousarray(payloads[position]).tobytes(), crc
+            )
+        return crc
+
+    def schedule(
+        self, entries: list[tuple[Stripe, tuple[int, ...], frozenset]]
+    ) -> None:
+        """Register and batch-rebuild ``(stripe, missing, usable)`` entries."""
+        # Stripes whose payload encode was deferred get it here in one
+        # batched call, not one lazy scalar encode each below.
+        encode_stripe_payloads(stripe for stripe, _, _ in entries)
+        groups: dict[tuple, list[Stripe]] = {}
+        for stripe, missing, usable in entries:
+            if stripe.payload is None:
+                continue
+            key = (id(stripe.code), missing, usable, stripe.payload.shape[1])
+            groups.setdefault(key, []).append(stripe)
+        for (_, missing, usable, _), members in groups.items():
+            self._rebuild_group(members, missing, usable)
+
+    def _rebuild_group(
+        self, members: list[Stripe], missing: tuple[int, ...], usable: frozenset
+    ) -> None:
+        code = members[0].code
+        planner = code.planner
+        available = {
+            p: np.stack([stripe.payload[p] for stripe in members])
+            for p in sorted(usable)
+        }
+        fingerprints = [
+            self._fingerprint({p: plane[s] for p, plane in available.items()})
+            for s in range(len(members))
+        ]
+        heavy: list[int] = []
+        for position in missing:
+            decision = planner.plan_block(position, usable)
+            if decision.light:
+                rebuilt = code.repair_stripes(position, available)
+                self._store(members, fingerprints, position, usable, rebuilt)
+            elif decision.feasible:
+                heavy.append(position)
+            # undecodable positions are left to the task's data-loss path
+        if heavy:
+            rebuilt = code.reconstruct(heavy, available)
+            for j, position in enumerate(heavy):
+                self._store(members, fingerprints, position, usable, rebuilt[:, j, :])
+        self.groups += 1
+        self.stripes += len(members)
+
+    def _store(
+        self,
+        members: list[Stripe],
+        fingerprints: list[int],
+        position: int,
+        usable: frozenset,
+        rebuilt: np.ndarray,
+    ) -> None:
+        for index, stripe in enumerate(members):
+            self._rebuilt[self._key(stripe, position, usable)] = (
+                fingerprints[index],
+                rebuilt[index],
+            )
+
+    def rebuilt_block(
+        self,
+        stripe: Stripe,
+        position: int,
+        usable: set[int],
+        payloads: dict[int, np.ndarray],
+    ) -> np.ndarray | None:
+        """The precomputed rebuild, or None if anything changed.
+
+        ``payloads`` are the survivor bytes as seen at verify time; a
+        CRC mismatch against the scan-time bytes invalidates the entry.
+        """
+        entry = self._rebuilt.get(self._key(stripe, position, frozenset(usable)))
+        if entry is None:
+            return None
+        fingerprint, rebuilt = entry
+        if fingerprint != self._fingerprint(payloads):
+            return None
+        return rebuilt
+
+
 class LightRepairTask(Task):
     """Repair one missing block, light decoder first (HDFS-Xorbas)."""
 
-    def __init__(self, fixer: "BlockFixer", stripe: Stripe, position: int):
+    def __init__(
+        self,
+        fixer: "BlockFixer",
+        stripe: Stripe,
+        position: int,
+        batch: PayloadRepairBatch | None = None,
+    ):
         super().__init__()
         self.fixer = fixer
         self.stripe = stripe
         self.position = position
+        self.batch = batch
 
     def describe(self) -> str:
         return f"repair {self.stripe.block_id(self.position)}"
@@ -67,19 +202,20 @@ class LightRepairTask(Task):
             finish(True)
             return
         usable = _available_with_virtual(cluster, stripe)
-        plan = stripe.code.best_repair_plan(position, usable)
-        if plan is not None:
-            sources = stripe.read_set(plan.sources)
-            light = True
-            rate = cluster.config.xor_decode_rate
-        else:
-            if not stripe.code.is_decodable(usable):
-                self.fixer.record_data_loss(cluster, block)
-                finish(True)
-                return
-            sources = sorted(cluster.namenode.available_positions(stripe))
-            light = False
-            rate = cluster.config.rs_decode_rate
+        decision = stripe.code.planner.plan_block(
+            position, usable, readable=cluster.namenode.available_positions(stripe)
+        )
+        if not decision.feasible:
+            self.fixer.record_data_loss(cluster, block)
+            finish(True)
+            return
+        sources = list(decision.sources)
+        light = decision.light
+        rate = (
+            cluster.config.xor_decode_rate
+            if light
+            else cluster.config.rs_decode_rate
+        )
         read_start = cluster.sim.now
 
         def after_read() -> None:
@@ -111,7 +247,13 @@ class LightRepairTask(Task):
         payloads = _payload_map(self.stripe, usable)
         if payloads is None:
             return
-        rebuilt = self.stripe.code.repair(self.position, payloads)
+        rebuilt = None
+        if self.batch is not None:
+            rebuilt = self.batch.rebuilt_block(
+                self.stripe, self.position, usable, payloads
+            )
+        if rebuilt is None:  # pattern/bytes changed mid-flight: scalar fallback
+            rebuilt = self.stripe.code.repair(self.position, payloads)
         if not self.stripe.verify_rebuilt(self.position, rebuilt):
             raise RepairVerificationError(
                 f"rebuilt {self.stripe.block_id(self.position)} does not match"
@@ -126,11 +268,18 @@ class StripeRepairTask(Task):
     repairs read ~13 blocks for one lost block in Figure 6(a).
     """
 
-    def __init__(self, fixer: "BlockFixer", stripe: Stripe, blocks: list[BlockId]):
+    def __init__(
+        self,
+        fixer: "BlockFixer",
+        stripe: Stripe,
+        blocks: list[BlockId],
+        batch: PayloadRepairBatch | None = None,
+    ):
         super().__init__()
         self.fixer = fixer
         self.stripe = stripe
         self.blocks = blocks
+        self.batch = batch
 
     def describe(self) -> str:
         return f"repair stripe {self.stripe.file_name}/s{self.stripe.index}"
@@ -144,14 +293,17 @@ class StripeRepairTask(Task):
             finish(True)
             return
         usable = _available_with_virtual(cluster, stripe)
-        if not stripe.code.is_decodable(usable):
+        decision = stripe.code.planner.plan_stripe(
+            missing, usable, readable=cluster.namenode.available_positions(stripe)
+        )
+        if not decision.feasible:
             for position in missing:
                 self.fixer.record_data_loss(cluster, stripe.block_id(position))
             for block in self.blocks:
                 self.fixer.release(block)
             finish(True)
             return
-        sources = sorted(cluster.namenode.available_positions(stripe))
+        sources = list(decision.sources)
         read_start = cluster.sim.now
 
         def after_read() -> None:
@@ -193,13 +345,26 @@ class StripeRepairTask(Task):
         payloads = _payload_map(self.stripe, usable)
         if payloads is None:
             return
-        data = self.stripe.code.decode(payloads)
-        coded = self.stripe.code.encode(data)
+        stale: list[int] = []
         for position in missing:
-            if not self.stripe.verify_rebuilt(position, coded[position]):
+            rebuilt = None
+            if self.batch is not None:
+                rebuilt = self.batch.rebuilt_block(
+                    self.stripe, position, usable, payloads
+                )
+            if rebuilt is None:
+                stale.append(position)
+            elif not self.stripe.verify_rebuilt(position, rebuilt):
                 raise RepairVerificationError(
                     f"rebuilt {self.stripe.block_id(position)} does not match"
                 )
+        if stale:  # pattern changed mid-flight: one engine call, not per-block
+            rebuilt = self.stripe.code.reconstruct(stale, payloads)
+            for j, position in enumerate(stale):
+                if not self.stripe.verify_rebuilt(position, rebuilt[0, j]):
+                    raise RepairVerificationError(
+                        f"rebuilt {self.stripe.block_id(position)} does not match"
+                    )
 
 
 class BlockFixer:
@@ -213,6 +378,8 @@ class BlockFixer:
         self.in_repair: set[BlockId] = set()
         self.jobs_dispatched = 0
         self.data_loss_blocks: list[BlockId] = []
+        self.payload_batch_groups = 0
+        self.payload_batch_stripes = 0
         self._running = False
         # Xorbas path iff the code advertises local repair groups.
         self.light_capable = any(
@@ -239,7 +406,12 @@ class BlockFixer:
     # -- scanning ----------------------------------------------------------------
 
     def scan(self) -> MapReduceJob | None:
-        """One scan pass: build and submit a repair job if needed."""
+        """One scan pass: build and submit a repair job if needed.
+
+        All payload rebuilds for the pass are precomputed here in batched
+        codec-engine calls — one reconstruction per erasure pattern, not
+        per stripe.
+        """
         namenode = self.cluster.namenode
         pending = sorted(namenode.missing_blocks - self.in_repair)
         if not pending:
@@ -247,15 +419,23 @@ class BlockFixer:
         by_stripe: dict[tuple[str, int], list[BlockId]] = defaultdict(list)
         for block in pending:
             by_stripe[(block.file_name, block.stripe_index)].append(block)
+        batch = PayloadRepairBatch()
+        entries: list[tuple[Stripe, tuple[int, ...], frozenset]] = []
         tasks: list[Task] = []
         for key, blocks in sorted(by_stripe.items()):
             stripe = namenode.stripes[key]
+            usable = frozenset(_available_with_virtual(self.cluster, stripe))
+            missing = tuple(sorted(namenode.missing_positions(stripe)))
+            entries.append((stripe, missing, usable))
             if self.light_capable:
                 for block in blocks:
-                    tasks.append(LightRepairTask(self, stripe, block.position))
+                    tasks.append(LightRepairTask(self, stripe, block.position, batch))
             else:
-                tasks.append(StripeRepairTask(self, stripe, blocks))
+                tasks.append(StripeRepairTask(self, stripe, blocks, batch))
             self.in_repair.update(blocks)
+        batch.schedule(entries)
+        self.payload_batch_groups += batch.groups
+        self.payload_batch_stripes += batch.stripes
         self.jobs_dispatched += 1
         metrics = self.cluster.metrics
         job = MapReduceJob(

@@ -16,14 +16,20 @@ block *sizes* are simulated, block *math* is real.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 if TYPE_CHECKING:
     from ..codes.base import ErasureCode
 
-__all__ = ["BlockId", "Stripe", "StoredFile", "block_kind"]
+__all__ = [
+    "BlockId",
+    "Stripe",
+    "StoredFile",
+    "block_kind",
+    "encode_stripe_payloads",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -80,7 +86,8 @@ class Stripe:
         self.data_blocks = data_blocks
         self.block_size = block_size
         self.parities_stored = False  # False until the RaidNode encodes us
-        self.payload: np.ndarray | None = None
+        self._payload: np.ndarray | None = None
+        self._payload_data: np.ndarray | None = None
         if payload_bytes:
             if rng is None:
                 rng = np.random.default_rng(hash((file_name, index)) & 0xFFFF_FFFF)
@@ -88,7 +95,10 @@ class Stripe:
             data[:data_blocks] = code.field.random_elements(
                 rng, (data_blocks, payload_bytes)
             )
-            self.payload = code.encode(data)
+            # Encoding is deferred: the storage layer batches whole groups
+            # of stripes through the codec engine (one kernel call), and
+            # any stray access encodes lazily via the property below.
+            self._payload_data = data
 
     # -- structure ---------------------------------------------------------
 
@@ -120,6 +130,34 @@ class Stripe:
 
     # -- payload verification ------------------------------------------------
 
+    @property
+    def payload(self) -> np.ndarray | None:
+        """The encoded verification payload, or None when not carried.
+
+        Encodes lazily on first access if the stripe was not already
+        batch-encoded via :func:`encode_stripe_payloads`.  The returned
+        array is the stripe's single live payload: in-place mutation
+        (corruption injection, scrubber heals) is intentional and sticks.
+        """
+        if self._payload is None and self._payload_data is not None:
+            self.attach_payload(self.code.encode(self._payload_data))
+        return self._payload
+
+    @property
+    def payload_pending(self) -> bool:
+        """True while the payload data exists but has not been encoded."""
+        return self._payload is None and self._payload_data is not None
+
+    def attach_payload(self, coded: np.ndarray) -> None:
+        """Install a (batch-)encoded payload and drop the raw data."""
+        coded = np.asarray(coded, dtype=self.code.field.dtype)
+        if coded.shape[0] != self.n:
+            raise ValueError(
+                f"payload must cover all {self.n} positions, got {coded.shape}"
+            )
+        self._payload = coded
+        self._payload_data = None
+
     def payload_block(self, position: int) -> np.ndarray:
         if self.payload is None:
             raise RuntimeError("stripe carries no verification payload")
@@ -129,6 +167,30 @@ class Stripe:
         return self.payload is None or bool(
             np.array_equal(self.payload[position], rebuilt)
         )
+
+
+def encode_stripe_payloads(stripes: Iterable[Stripe]) -> int:
+    """Batch-encode every pending verification payload.
+
+    Groups the pending stripes by (code, payload width) and runs one
+    ``encode_stripes`` kernel per group — this is how loading a cluster
+    encodes thousands of stripes without a per-stripe matrix product.
+    Returns the number of stripes encoded.
+    """
+    groups: dict[tuple[int, int], list[Stripe]] = {}
+    for stripe in stripes:
+        if stripe.payload_pending:
+            key = (id(stripe.code), stripe._payload_data.shape[1])
+            groups.setdefault(key, []).append(stripe)
+    encoded = 0
+    for members in groups.values():
+        code = members[0].code
+        data3d = np.stack([s._payload_data for s in members])
+        coded = code.encode_stripes(data3d)
+        for index, stripe in enumerate(members):
+            stripe.attach_payload(coded[index])
+        encoded += len(members)
+    return encoded
 
 
 @dataclass

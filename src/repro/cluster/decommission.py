@@ -52,12 +52,14 @@ class RecreateBlockTask(Task):
         }
         usable = set(available)
         usable.update(p for p in range(stripe.n) if stripe.is_virtual(p))
-        plan = stripe.code.best_repair_plan(position, usable)
-        if plan is not None:
-            sources = stripe.read_set(plan.sources)
+        decision = stripe.code.planner.plan_block(
+            position, usable, readable=available
+        )
+        if decision.light:
+            sources = list(decision.sources)
             rate = cluster.config.xor_decode_rate
-        elif stripe.code.is_decodable(usable):
-            sources = sorted(available)
+        elif decision.feasible:
+            sources = list(decision.sources)
             rate = cluster.config.rs_decode_rate
         else:
             # Cannot rebuild without the retiring node: fall back to a

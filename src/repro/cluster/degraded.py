@@ -205,16 +205,19 @@ class DegradedReadSimulation:
         if self._is_up(int(self.placement[stripe, position])):
             self._record(base_latency, degraded=False)
             return
-        # Degraded path: reconstruct from available stripe members.
+        # Degraded path: reconstruct from available stripe members.  The
+        # code's RepairPlanner makes the light-vs-heavy call (and memoises
+        # it per outage pattern); the in-memory client reads k blocks when
+        # forced onto the heavy decoder.
         available = [
             pos
             for pos in range(self.code.n)
             if pos != position and self._is_up(int(self.placement[stripe, pos]))
         ]
-        plan = self.code.best_repair_plan(position, available)
-        if plan is not None:
-            reads = plan.num_reads
-        elif self.code.is_decodable(available):
+        decision = self.code.planner.plan_block(position, available)
+        if decision.light:
+            reads = decision.num_reads
+        elif decision.feasible:
             reads = self.code.k
         else:
             self.stats.failed_reads += 1

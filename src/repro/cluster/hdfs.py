@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..codes.base import ErasureCode
-from .blocks import BlockId, Stripe, StoredFile
+from .blocks import BlockId, Stripe, StoredFile, encode_stripe_payloads
 from .config import ClusterConfig
 from .mapreduce import JobTracker
 from .metrics import MetricsCollector
@@ -108,6 +108,7 @@ class HadoopCluster:
         were RAIDed, ... failure events were triggered").
         """
         stored = self.files[name]
+        encode_stripe_payloads(stored.stripes)
         for stripe in stored.stripes:
             if stripe.parities_stored:
                 continue
@@ -116,6 +117,9 @@ class HadoopCluster:
         stored.raided = True
 
     def raid_all_instant(self) -> None:
+        # One batched codec-engine call encodes every pending verification
+        # payload before the per-file placement loop.
+        encode_stripe_payloads(self.all_stripes())
         for name in self.files:
             self.raid_file_instant(name)
 

@@ -152,20 +152,27 @@ class Scrubber:
                 stripe.payload.shape[1], dtype=stripe.code.field.dtype
             )
         for position in corrupt:
-            try:
-                plan = stripe.code.best_repair_plan(position, healthy.keys())
-                if plan is not None:
-                    rebuilt = stripe.code.execute_plan(plan, healthy)
-                    report.blocks_read_for_heal += len(
-                        stripe.read_set(plan.sources)
+            # The code's RepairPlanner makes the light-vs-heavy call; the
+            # heavy path goes through the engine's cached reconstruction
+            # matrix (byte-identical to decode + re-encode).
+            decision = stripe.code.planner.plan_block(position, healthy.keys())
+            if decision.light:
+                rebuilt = stripe.code.execute_plan(decision.plan, healthy)
+                report.blocks_read_for_heal += len(
+                    stripe.read_set(decision.plan.sources)
+                )
+            elif decision.feasible:
+                try:
+                    rebuilt = stripe.code.reconstruct((position,), healthy)[0, 0]
+                except DecodingError:
+                    report.unhealable_stripes.append(
+                        (stripe.file_name, stripe.index)
                     )
-                else:
-                    data = stripe.code.decode(healthy)
-                    rebuilt = stripe.code.encode(data)[position]
-                    report.blocks_read_for_heal += len(
-                        [p for p in healthy if not stripe.is_virtual(p)]
-                    )
-            except DecodingError:
+                    return
+                report.blocks_read_for_heal += len(
+                    [p for p in healthy if not stripe.is_virtual(p)]
+                )
+            else:
                 report.unhealable_stripes.append(
                     (stripe.file_name, stripe.index)
                 )

@@ -78,22 +78,23 @@ class WordCountTask(Task):
         self.stats.degraded_reads += 1
         usable = set(cluster.namenode.available_positions(stripe))
         usable.update(p for p in range(stripe.n) if stripe.is_virtual(p))
-        plan = stripe.code.best_repair_plan(position, usable)
-        if plan is not None:
-            sources = stripe.read_set(plan.sources)
+        decision = stripe.code.planner.plan_block(
+            position, usable, readable=cluster.namenode.available_positions(stripe)
+        )
+        if decision.light:
+            sources = list(decision.sources)
             rate = cluster.config.xor_decode_rate
-        else:
-            if not stripe.code.is_decodable(usable):
-                # Data genuinely lost: the job skips the split rather than
-                # retrying forever (Hadoop would fail the task 4 times and
-                # then fail or skip, depending on configuration).
-                self.stats.unreadable_blocks += 1
-                finish(True)
-                return
+        elif decision.feasible:
             # Efficient degraded-read client: any k readable blocks.
-            stored = sorted(cluster.namenode.available_positions(stripe))
-            sources = stored[: stripe.code.k]
+            sources = list(decision.sources)[: stripe.code.k]
             rate = cluster.config.rs_decode_rate
+        else:
+            # Data genuinely lost: the job skips the split rather than
+            # retrying forever (Hadoop would fail the task 4 times and
+            # then fail or skip, depending on configuration).
+            self.stats.unreadable_blocks += 1
+            finish(True)
+            return
         self.stats.reconstruction_reads += len(sources)
         read_start = cluster.sim.now
 

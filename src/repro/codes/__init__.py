@@ -16,6 +16,13 @@ from .analysis import (
     repair_cost_summary,
 )
 from .base import CodeParameters, DecodingError, ErasureCode, RepairPlan
+from .engine import (
+    CodecEngine,
+    DecoderCache,
+    EngineStats,
+    RepairDecision,
+    RepairPlanner,
+)
 from .bounds import (
     Theorem1Parameters,
     locality_distance_bound,
@@ -63,9 +70,14 @@ from .simple_regenerating import SimpleRegeneratingCode, SubSymbolRead
 
 __all__ = [
     "CodeParameters",
+    "CodecEngine",
+    "DecoderCache",
     "DecodingError",
+    "EngineStats",
     "ErasureCode",
+    "RepairDecision",
     "RepairPlan",
+    "RepairPlanner",
     "LinearCode",
     "systematize",
     "ReedSolomonCode",

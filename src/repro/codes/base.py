@@ -15,11 +15,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from functools import cached_property
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from ..galois import GF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import RepairPlanner
 
 __all__ = ["RepairPlan", "CodeParameters", "ErasureCode", "DecodingError"]
 
@@ -135,7 +139,75 @@ class ErasureCode(ABC):
         worst case).
         """
 
+    # -- batched stripe APIs -------------------------------------------------
+    #
+    # The cluster layer works in batches of stripes: a node failure takes
+    # out one block position in thousands of stripes at once, and loading
+    # a cluster encodes every stripe of a file.  These defaults are
+    # correct for any code (they loop the scalar primitives);
+    # :class:`~repro.codes.linear.LinearCode` overrides them with the
+    # cached, vectorised codec engine.
+
+    def encode_stripes(self, data3d: np.ndarray) -> np.ndarray:
+        """Encode a ``(stripes, k, width)`` batch into ``(stripes, n, width)``."""
+        data3d = np.asarray(data3d, dtype=self.field.dtype)
+        if data3d.ndim != 3 or data3d.shape[1] != self.k:
+            raise ValueError(
+                f"expected a (stripes, {self.k}, width) batch, got {data3d.shape}"
+            )
+        if data3d.shape[0] == 0:
+            return np.zeros((0, self.n, data3d.shape[2]), dtype=self.field.dtype)
+        return np.stack([self.encode(stripe) for stripe in data3d])
+
+    def reconstruct(
+        self, lost: Sequence[int], available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Rebuild ``lost`` blocks for a batch: ``(stripes, len(lost), width)``.
+
+        ``available`` maps survivor position to one payload ``(width,)``
+        or a batch ``(stripes, width)``.  The fallback decodes and
+        re-encodes stripe by stripe.
+        """
+        from .engine import stack_stripes
+
+        lost = tuple(int(p) for p in lost)
+        positions = sorted(available)
+        stacked = stack_stripes(self.field, available, positions)
+        out = np.zeros(
+            (stacked.shape[0], len(lost), stacked.shape[2]), dtype=self.field.dtype
+        )
+        for s in range(stacked.shape[0]):
+            payloads = {p: stacked[s, i] for i, p in enumerate(positions)}
+            coded = self.encode(self.decode(payloads))
+            for j, position in enumerate(lost):
+                out[s, j] = coded[position]
+        return out
+
+    def repair_stripes(
+        self, lost: int, available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Light-first repair of one block across a batch: ``(stripes, width)``."""
+        from .engine import stack_stripes
+
+        positions = sorted(available)
+        stacked = stack_stripes(self.field, available, positions)
+        if stacked.shape[0] == 0:
+            return np.zeros((0, stacked.shape[2]), dtype=self.field.dtype)
+        return np.stack(
+            [
+                self.repair(lost, {p: stacked[s, i] for i, p in enumerate(positions)})
+                for s in range(stacked.shape[0])
+            ]
+        )
+
     # -- repair -------------------------------------------------------------
+
+    @cached_property
+    def planner(self) -> "RepairPlanner":
+        """The code's light-vs-heavy repair planner (built lazily, shared)."""
+        from .engine import RepairPlanner  # deferred: engine imports base
+
+        return RepairPlanner(self)
 
     @abstractmethod
     def repair_plans(self, lost: int) -> list[RepairPlan]:

@@ -1,0 +1,413 @@
+"""The batched codec engine: cached decode matrices + vectorised repair.
+
+The paper's evaluation is about *which blocks* a repair reads, but a
+simulator that verifies every rebuilt byte also cares how fast the field
+arithmetic runs.  The seed implementation paid two hidden taxes on that
+hot path:
+
+* every decode re-ran greedy survivor selection (one Gaussian
+  elimination per candidate column) and a fresh matrix inversion, even
+  though a cluster losing a node presents the *same* erasure pattern for
+  thousands of stripes; and
+* every stripe was encoded/decoded one matrix product at a time, paying
+  Python call overhead per stripe.
+
+This module removes both.  :class:`DecoderCache` memoises, per frozen
+erasure pattern, the chosen survivor columns and the precomputed
+reconstruction matrix; :class:`CodecEngine` applies those matrices to
+whole batches of stripes through the gather-based
+:func:`~repro.galois.linalg.gf_matmul_batch` kernel; and
+:class:`RepairPlanner` is the single light-vs-heavy planning contract
+every scheme exposes to the cluster layer (the selection logic that used
+to live inside the BlockFixer tasks).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..galois import gf_inv, gf_matmul, gf_matmul_batch
+from .base import DecodingError, RepairPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .base import ErasureCode
+    from .linear import LinearCode
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DecoderCache",
+    "CodecEngine",
+    "EngineStats",
+    "RepairDecision",
+    "RepairPlanner",
+    "stack_stripes",
+]
+
+DEFAULT_CACHE_SIZE = 256
+
+
+def stack_stripes(field, available: Mapping[int, np.ndarray], positions) -> np.ndarray:
+    """Stack per-position batches into the (stripes, k, width) layout.
+
+    Each ``available[p]`` is either one block payload ``(width,)`` or a
+    batch of the same block across stripes ``(stripes, width)``; 1-D
+    payloads are promoted to a single-stripe batch.
+    """
+    planes = []
+    for position in positions:
+        plane = np.asarray(available[position], dtype=field.dtype)
+        if plane.ndim == 1:
+            plane = plane[None, :]
+        if plane.ndim != 2:
+            raise ValueError(
+                f"block {position}: expected (width,) or (stripes, width), "
+                f"got shape {plane.shape}"
+            )
+        planes.append(plane)
+    return np.stack(planes, axis=1)
+
+
+class DecoderCache:
+    """LRU cache of per-erasure-pattern decoding artefacts.
+
+    Keys are frozen erasure patterns (plus a tag for what is being
+    cached); values are whatever the builder produced — chosen survivor
+    columns with their reconstruction matrix for the engine, repair
+    decisions for the planner.  Bounded LRU so adversarial pattern
+    streams cannot grow memory without limit.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    _MISSING = object()  # sentinel: builders may legitimately return None
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError("cache needs room for at least one pattern")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Hashable, build: Callable[[], object]):
+        """Return the cached value for ``key``, building it on a miss."""
+        entry = self._entries.get(key, self._MISSING)
+        if entry is not self._MISSING:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        value = build()  # exceptions propagate; failures are not cached
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters describing one engine's life so far."""
+
+    encode_calls: int
+    stripes_encoded: int
+    reconstruct_calls: int
+    stripes_reconstructed: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_size: int
+
+    def __str__(self) -> str:
+        return (
+            f"encode: {self.encode_calls} calls / {self.stripes_encoded} stripes; "
+            f"reconstruct: {self.reconstruct_calls} calls / "
+            f"{self.stripes_reconstructed} stripes; "
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses, "
+            f"{self.cache_evictions} evictions"
+        )
+
+
+class CodecEngine:
+    """Batched encode/decode for one :class:`~repro.codes.linear.LinearCode`.
+
+    The engine owns the code's :class:`DecoderCache` and turns the three
+    per-stripe hot-path operations into batch operations:
+
+    * ``encode_stripes`` — one ``gf_matmul_batch`` for any number of
+      stripes;
+    * ``reconstruct`` — rebuild a set of lost blocks for a whole batch of
+      stripes with one cached ``(lost, survivors)`` reconstruction matrix
+      and one batched product;
+    * ``repair_stripes`` — light-decoder-first single-block repair across
+      a batch, falling back to ``reconstruct``.
+
+    All arithmetic is the exact field algebra of the scalar path, so the
+    outputs are byte-identical to per-stripe ``encode``/``decode``.
+    """
+
+    def __init__(self, code: "LinearCode", cache_size: int = DEFAULT_CACHE_SIZE):
+        self.code = code
+        self.field = code.field
+        self.cache = DecoderCache(cache_size)
+        self.encode_calls = 0
+        self.stripes_encoded = 0
+        self.reconstruct_calls = 0
+        self.stripes_reconstructed = 0
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode_stripes(self, data3d: np.ndarray) -> np.ndarray:
+        """Encode a ``(stripes, k, width)`` batch into ``(stripes, n, width)``."""
+        data3d = np.asarray(data3d, dtype=self.field.dtype)
+        if data3d.ndim != 3 or data3d.shape[1] != self.code.k:
+            raise ValueError(
+                f"expected a (stripes, {self.code.k}, width) batch, "
+                f"got shape {data3d.shape}"
+            )
+        self.encode_calls += 1
+        self.stripes_encoded += data3d.shape[0]
+        return gf_matmul_batch(self.field, self.code.generator.T, data3d)
+
+    # -- cached decode/reconstruction matrices ------------------------------
+
+    def decode_matrix(self, available: Iterable[int]) -> tuple[tuple[int, ...], np.ndarray]:
+        """Survivor columns + the matrix recovering the data from them.
+
+        Returns ``(chosen, M)`` with ``chosen`` the greedily selected
+        independent survivor positions (same selection as the scalar
+        decoder: sorted order, accept any rank-increasing column) and
+        ``M = (G[:, chosen]^T)^-1`` so that ``data = M @ stacked``.
+        Cached per frozen survivor set.
+        """
+        pattern = frozenset(int(p) for p in available)
+        return self.cache.lookup(("decode", pattern), lambda: self._build_decode(pattern))
+
+    def _build_decode(self, pattern: frozenset) -> tuple[tuple[int, ...], np.ndarray]:
+        code = self.code
+        indices = sorted(pattern)
+        if len(indices) < code.k:
+            raise DecodingError(
+                f"{len(indices)} blocks available, at least {code.k} required"
+            )
+        chosen = code._independent_columns(indices)
+        if chosen is None:
+            raise DecodingError(
+                f"available blocks do not span the data space (indices={indices})"
+            )
+        matrix = gf_inv(self.field, code.generator[:, chosen].T)
+        return tuple(chosen), matrix
+
+    def reconstruction_matrix(
+        self, lost: Sequence[int], available: Iterable[int]
+    ) -> tuple[tuple[int, ...], np.ndarray]:
+        """Survivor columns + the matrix rebuilding ``lost`` from them.
+
+        ``R = G[:, lost]^T @ M`` maps stacked survivors straight to the
+        lost blocks, folding decode and re-encode into one product.
+        Cached per frozen ``(lost, survivors)`` pattern.
+        """
+        lost_key = tuple(int(p) for p in lost)
+        pattern = frozenset(int(p) for p in available)
+
+        def build() -> tuple[tuple[int, ...], np.ndarray]:
+            chosen, decode = self.decode_matrix(pattern)
+            rebuild = gf_matmul(
+                self.field, self.code.generator[:, list(lost_key)].T, decode
+            )
+            return chosen, rebuild
+
+        return self.cache.lookup(("reconstruct", lost_key, pattern), build)
+
+    # -- batched decode / repair --------------------------------------------
+
+    def decode_stripes(self, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover the data blocks of a whole batch: ``(stripes, k, width)``."""
+        chosen, matrix = self.decode_matrix(available.keys())
+        stacked = stack_stripes(self.field, available, chosen)
+        self.reconstruct_calls += 1
+        self.stripes_reconstructed += stacked.shape[0]
+        return gf_matmul_batch(self.field, matrix, stacked)
+
+    def reconstruct(
+        self, lost: Sequence[int], available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Rebuild the ``lost`` blocks for every stripe in the batch.
+
+        ``available`` maps survivor position to a ``(stripes, width)``
+        batch (or a single ``(width,)`` payload).  Returns
+        ``(stripes, len(lost), width)``, byte-identical to decoding and
+        re-encoding each stripe with the scalar path.
+        """
+        lost = tuple(int(p) for p in lost)
+        chosen, rebuild = self.reconstruction_matrix(lost, available.keys())
+        stacked = stack_stripes(self.field, available, chosen)
+        self.reconstruct_calls += 1
+        self.stripes_reconstructed += stacked.shape[0]
+        return gf_matmul_batch(self.field, rebuild, stacked)
+
+    def repair_stripes(
+        self, lost: int, available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Light-first single-block repair across a batch: ``(stripes, width)``.
+
+        Uses the cheapest feasible light plan (batched XOR/axpy over the
+        stripe axis) and falls back to the cached heavy reconstruction.
+        """
+        plan = self.code.best_repair_plan(lost, available.keys())
+        if plan is None:
+            return self.reconstruct((lost,), available)[:, 0, :]
+        return self.execute_plan_stripes(plan, available)
+
+    def execute_plan_stripes(
+        self, plan: RepairPlan, available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Apply one repair plan to every stripe of a batch at once."""
+        stacked = stack_stripes(self.field, available, plan.sources)
+        out = np.zeros((stacked.shape[0], stacked.shape[2]), dtype=self.field.dtype)
+        for index, coeff in enumerate(plan.coefficients):
+            self.field.addmul(out, coeff, stacked[:, index, :])
+        self.reconstruct_calls += 1
+        self.stripes_reconstructed += stacked.shape[0]
+        return out
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        cache = self.cache.stats()
+        return EngineStats(
+            encode_calls=self.encode_calls,
+            stripes_encoded=self.stripes_encoded,
+            reconstruct_calls=self.reconstruct_calls,
+            stripes_reconstructed=self.stripes_reconstructed,
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_evictions=cache["evictions"],
+            cache_size=cache["size"],
+        )
+
+    def __repr__(self) -> str:
+        return f"CodecEngine({self.code!r}, cached_patterns={len(self.cache)})"
+
+
+@dataclass(frozen=True)
+class RepairDecision:
+    """One planning outcome: how (and whether) a repair can run.
+
+    ``kind`` is ``"light"`` (a local plan's sources suffice),
+    ``"heavy"`` (full decode over the survivors) or ``"loss"`` (the
+    pattern is undecodable).  ``sources`` lists the *readable* positions
+    the repair streams in — light plans keep plan order, heavy repairs
+    read every readable survivor in sorted order.
+    """
+
+    kind: str
+    lost: tuple[int, ...]
+    sources: tuple[int, ...]
+    plan: RepairPlan | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.kind != "loss"
+
+    @property
+    def light(self) -> bool:
+        return self.kind == "light"
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.sources)
+
+
+class RepairPlanner:
+    """The one light-vs-heavy planning contract all schemes expose.
+
+    The selection logic that used to be replicated inside the BlockFixer
+    tasks, the degraded-read service, the scrubber and the decommission
+    manager now lives here: given the *usable* positions (readable blocks
+    plus known-zero padding) and the *readable* subset (what physically
+    exists on live nodes), decide light plan / heavy decode / data loss.
+    Decisions are memoised per frozen pattern in a :class:`DecoderCache`,
+    so a node failure hitting thousands of same-shaped stripes plans
+    once.
+    """
+
+    def __init__(self, code: "ErasureCode", cache_size: int = DEFAULT_CACHE_SIZE):
+        self.code = code
+        self.cache = DecoderCache(cache_size)
+
+    def plan_block(
+        self,
+        lost: int,
+        usable: Iterable[int],
+        readable: Iterable[int] | None = None,
+    ) -> RepairDecision:
+        """Plan the repair of one block given the surviving pattern."""
+        lost = int(lost)
+        usable_set = frozenset(int(p) for p in usable) - {lost}
+        readable_set = (
+            frozenset(int(p) for p in readable) if readable is not None else usable_set
+        )
+        key = ("block", lost, usable_set, readable_set)
+        return self.cache.lookup(
+            key, lambda: self._decide_block(lost, usable_set, readable_set)
+        )
+
+    def _decide_block(
+        self, lost: int, usable: frozenset, readable: frozenset
+    ) -> RepairDecision:
+        plan = self.code.best_repair_plan(lost, usable)
+        if plan is not None:
+            sources = tuple(p for p in plan.sources if p in readable)
+            return RepairDecision(kind="light", lost=(lost,), sources=sources, plan=plan)
+        if self.code.is_decodable(usable):
+            return RepairDecision(
+                kind="heavy", lost=(lost,), sources=tuple(sorted(readable))
+            )
+        return RepairDecision(kind="loss", lost=(lost,), sources=())
+
+    def plan_stripe(
+        self,
+        missing: Iterable[int],
+        usable: Iterable[int],
+        readable: Iterable[int] | None = None,
+    ) -> RepairDecision:
+        """Plan a whole-stripe repair (the HDFS-RS BlockFixer unit)."""
+        missing_key = tuple(sorted(int(p) for p in missing))
+        usable_set = frozenset(int(p) for p in usable) - set(missing_key)
+        readable_set = (
+            frozenset(int(p) for p in readable) if readable is not None else usable_set
+        )
+        key = ("stripe", missing_key, usable_set, readable_set)
+
+        def build() -> RepairDecision:
+            if self.code.is_decodable(usable_set):
+                return RepairDecision(
+                    kind="heavy", lost=missing_key, sources=tuple(sorted(readable_set))
+                )
+            return RepairDecision(kind="loss", lost=missing_key, sources=())
+
+        return self.cache.lookup(key, build)

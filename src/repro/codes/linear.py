@@ -14,8 +14,16 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..galois import GF, gf_inv, gf_matmul, gf_rank, gf_rref
+from ..galois import (
+    GF,
+    gf_independent_columns,
+    gf_inv,
+    gf_matmul,
+    gf_rank,
+    gf_rref,
+)
 from .base import CodeParameters, DecodingError, ErasureCode, RepairPlan
+from .engine import CodecEngine
 
 __all__ = ["LinearCode", "systematize"]
 
@@ -51,6 +59,32 @@ class LinearCode(ErasureCode):
         self.generator = generator
         self.name = name or f"Linear({k},{n - k})"
         self._distance_cache: int | None = None
+        self._engine: CodecEngine | None = None
+
+    # -- the batched codec engine ---------------------------------------------
+
+    @property
+    def engine(self) -> CodecEngine:
+        """The code's codec engine (decode-matrix cache + batched kernels)."""
+        if self._engine is None:
+            self._engine = CodecEngine(self)
+        return self._engine
+
+    def encode_stripes(self, data3d: np.ndarray) -> np.ndarray:
+        """Batched encode through the engine: one kernel for all stripes."""
+        return self.engine.encode_stripes(data3d)
+
+    def reconstruct(
+        self, lost: Sequence[int], available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Batched rebuild through the engine's cached reconstruction matrix."""
+        return self.engine.reconstruct(lost, available)
+
+    def repair_stripes(
+        self, lost: int, available: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Batched light-first repair through the engine."""
+        return self.engine.repair_stripes(lost, available)
 
     # -- encoding / decoding --------------------------------------------------
 
@@ -62,45 +96,44 @@ class LinearCode(ErasureCode):
         return gf_matmul(self.field, self.generator.T, data)
 
     def decode(self, available: Mapping[int, np.ndarray]) -> np.ndarray:
-        """Heavy decode: solve the linear system over a full-rank subset."""
-        indices = sorted(available)
-        if len(indices) < self.k:
+        """Heavy decode: solve the linear system over a full-rank subset.
+
+        The survivor selection and matrix inversion go through the
+        engine's :class:`~repro.codes.engine.DecoderCache`, so repeated
+        decodes of the same erasure pattern pay the Gaussian elimination
+        once; the arithmetic is unchanged (Y_S = G_S^T X  =>
+        X = (G_S^T)^-1 Y_S), so results are byte-identical.
+        """
+        if len(available) < self.k:
             raise DecodingError(
-                f"{len(indices)} blocks available, at least {self.k} required"
+                f"{len(available)} blocks available, at least {self.k} required"
             )
-        chosen = self._independent_columns(indices)
-        if chosen is None:
-            raise DecodingError(
-                "available blocks do not span the data space "
-                f"(indices={indices})"
-            )
-        submatrix = self.generator[:, chosen]  # k x k, invertible
+        chosen, matrix = self.engine.decode_matrix(available.keys())
         stacked = np.stack(
             [np.asarray(available[i], dtype=self.field.dtype) for i in chosen]
         )
-        # Y_S = G_S^T X  =>  X = (G_S^T)^-1 Y_S
-        return gf_matmul(self.field, gf_inv(self.field, submatrix.T), stacked)
+        return gf_matmul(self.field, matrix, stacked)
 
     def _independent_columns(self, indices: Sequence[int]) -> list[int] | None:
-        """Greedily pick k linearly independent generator columns."""
-        chosen: list[int] = []
-        rank = 0
-        for idx in indices:
-            candidate = chosen + [idx]
-            new_rank = gf_rank(self.field, self.generator[:, candidate])
-            if new_rank > rank:
-                chosen.append(idx)
-                rank = new_rank
-                if rank == self.k:
-                    return chosen
-        return None
+        """Greedily pick k linearly independent generator columns.
+
+        One incremental Gaussian elimination over the candidate scan (the
+        seed recomputed a full rank per candidate, making the selection
+        quadratic in k for no benefit — the greedy acceptance criterion
+        is identical).
+        """
+        chosen = gf_independent_columns(
+            self.field, self.generator, indices, target_rank=self.k
+        )
+        return chosen if len(chosen) == self.k else None
 
     def is_decodable(self, indices: Iterable[int]) -> bool:
         """Whether a set of surviving block indices determines the file."""
         cols = sorted(set(indices))
         if len(cols) < self.k:
             return False
-        return gf_rank(self.field, self.generator[:, cols]) == self.k
+        chosen = gf_independent_columns(self.field, self.generator, cols, self.k)
+        return len(chosen) == self.k
 
     # -- repair ---------------------------------------------------------------
 

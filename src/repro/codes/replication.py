@@ -39,6 +39,28 @@ class ReplicationCode(ErasureCode):
             return np.atleast_2d(np.asarray(available[index], dtype=self.field.dtype))
         raise DecodingError("no replicas available")
 
+    # -- batched stripe APIs (copies, no field arithmetic needed) -----------
+
+    def encode_stripes(self, data3d: np.ndarray) -> np.ndarray:
+        data3d = np.asarray(data3d, dtype=self.field.dtype)
+        if data3d.ndim != 3 or data3d.shape[1] != 1:
+            raise ValueError(
+                f"expected a (stripes, 1, width) batch, got {data3d.shape}"
+            )
+        return np.repeat(data3d, self.n, axis=1)
+
+    def reconstruct(self, lost, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        from .engine import stack_stripes
+
+        if not available:
+            raise DecodingError("no replicas available")
+        source = min(int(p) for p in available)
+        stacked = stack_stripes(self.field, available, [source])  # (S, 1, w)
+        return np.repeat(stacked, len(tuple(lost)), axis=1)
+
+    def repair_stripes(self, lost: int, available: Mapping[int, np.ndarray]) -> np.ndarray:
+        return self.reconstruct((lost,), available)[:, 0, :]
+
     def repair_plans(self, lost: int) -> list[RepairPlan]:
         if not 0 <= lost < self.n:
             raise ValueError(f"replica index {lost} out of range")

@@ -124,6 +124,27 @@ class SimpleRegeneratingCode:
             (x[i], y[(i + 1) % self.n], s[(i + 2) % self.n]) for i in range(self.n)
         ]
 
+    def encode_stripes(self, data3d: np.ndarray) -> np.ndarray:
+        """Batched encode: ``(stripes, 2k, width)`` -> ``(stripes, n, 3, width)``.
+
+        Both MDS halves go through the precode's codec engine (one
+        batched kernel each, sharing the precode's DecoderCache), and the
+        rotation becomes two array rolls: node i's triple is
+        ``out[s, i] = (x_i, y_{i+1 mod n}, s_{i+2 mod n})``.
+        """
+        data3d = np.asarray(data3d, dtype=self.field.dtype)
+        if data3d.ndim != 3 or data3d.shape[1] != 2 * self.k:
+            raise ValueError(
+                f"expected a (stripes, {2 * self.k}, width) batch, got {data3d.shape}"
+            )
+        x = self.precode.encode_stripes(data3d[:, : self.k])
+        y = self.precode.encode_stripes(data3d[:, self.k :])
+        s = np.bitwise_xor(x, y)
+        # out[:, i, 1] = y[:, (i + 1) % n]: shift the node axis back by one.
+        return np.stack(
+            [x, np.roll(y, -1, axis=1), np.roll(s, -2, axis=1)], axis=2
+        )
+
     def node_payload_bytes(self, block_size: float) -> float:
         """Bytes stored per node when a data block is ``block_size``.
 

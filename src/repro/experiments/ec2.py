@@ -16,11 +16,12 @@ import numpy as np
 
 from ..codes.lrc import xorbas_lrc
 from ..codes.reed_solomon import rs_10_4
-from ..cluster import EC2_FAILURE_PATTERN, ec2_config
+from ..cluster import EC2_FAILURE_PATTERN, ClusterConfig, ec2_config
 from .parallel import ResultCache, parallel_map
 from .runner import SchemeRun, SchemeRunSummary, run_failure_schedule
 
 __all__ = [
+    "DEFAULT_PAYLOAD_BYTES",
     "EC2_FILE_SIZE",
     "EC2_SCHEME_CODES",
     "EC2ExperimentResult",
@@ -77,6 +78,14 @@ class EC2ExperimentSummary:
         return [self.rs, self.xorbas]
 
 
+#: Per-block verification payload size of the paper-scale runs: the
+#: cluster-wide default, re-exported so the CLI and cached scheme configs
+#: share the single source of truth.  Small by default so simulations
+#: stay cheap; the batched codec engine makes paper-scale full-byte
+#: verification (--payload-bytes in the KBs) feasible too.
+DEFAULT_PAYLOAD_BYTES = ClusterConfig.payload_bytes
+
+
 def scheme_config(
     scheme: str,
     num_files: int = 200,
@@ -84,6 +93,7 @@ def scheme_config(
     num_nodes: int = 50,
     pattern: tuple[int, ...] = EC2_FAILURE_PATTERN,
     event_gap: float = 900.0,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
 ) -> dict[str, Any]:
     """One scheme/seed configuration as plain JSON-serialisable values.
 
@@ -102,6 +112,7 @@ def scheme_config(
         "pattern": list(pattern),
         "event_gap": event_gap,
         "file_size": EC2_FILE_SIZE,
+        "payload_bytes": payload_bytes,
     }
 
 
@@ -112,10 +123,13 @@ def run_scheme_config(config: Mapping[str, Any]) -> SchemeRunSummary:
     and returns only picklable values.
     """
     code = EC2_SCHEME_CODES[config["scheme"]]()
+    cluster_config = ec2_config(num_nodes=config["num_nodes"]).scaled(
+        payload_bytes=int(config.get("payload_bytes", DEFAULT_PAYLOAD_BYTES))
+    )
     run = run_failure_schedule(
         config["scheme"],
         code,
-        ec2_config(num_nodes=config["num_nodes"]),
+        cluster_config,
         [config["file_size"]] * config["num_files"],
         tuple(config["pattern"]),
         seed=config["seed"],
@@ -132,6 +146,7 @@ def run_ec2_experiment_parallel(
     event_gap: float = 900.0,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
 ) -> EC2ExperimentSummary:
     """The EC2 experiment via the parallel runner: the two clusters are
     independent simulations, so they fan across workers, and each
@@ -146,6 +161,7 @@ def run_ec2_experiment_parallel(
             num_nodes=num_nodes,
             pattern=pattern,
             event_gap=event_gap,
+            payload_bytes=payload_bytes,
         )
         for scheme in ("HDFS-RS", "HDFS-Xorbas")
     ]
@@ -185,12 +201,13 @@ def run_ec2_experiment(
     num_nodes: int = 50,
     pattern: tuple[int, ...] = EC2_FAILURE_PATTERN,
     event_gap: float = 900.0,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
 ) -> EC2ExperimentResult:
     """One full EC2 experiment: identical schedules on HDFS-RS and Xorbas."""
     if num_files < 1:
         raise ValueError("need at least one file")
     sizes = [EC2_FILE_SIZE] * num_files
-    config = ec2_config(num_nodes=num_nodes)
+    config = ec2_config(num_nodes=num_nodes).scaled(payload_bytes=payload_bytes)
     rs_run = run_failure_schedule(
         "HDFS-RS", rs_10_4(), config, sizes, pattern, seed=seed, event_gap=event_gap
     )

@@ -9,9 +9,11 @@ on (Section 3), implemented from scratch with numpy-vectorised kernels.
 from .field import GF, GF16, GF256
 from .linalg import (
     gf_identity,
+    gf_independent_columns,
     gf_inv,
     gf_mat_vec,
     gf_matmul,
+    gf_matmul_batch,
     gf_null_space,
     gf_rank,
     gf_rref,
@@ -34,9 +36,11 @@ __all__ = [
     "find_primitive_poly",
     "is_primitive",
     "gf_identity",
+    "gf_independent_columns",
     "gf_inv",
     "gf_mat_vec",
     "gf_matmul",
+    "gf_matmul_batch",
     "gf_null_space",
     "gf_rank",
     "gf_rref",

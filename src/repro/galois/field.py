@@ -61,6 +61,7 @@ class GF:
         self.primitive_poly = primitive_poly
         self.dtype = _dtype_for(m)
         self._exp, self._log = self._build_tables()
+        self._mul_table: np.ndarray | None = None
 
     def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
         """Build antilog (exp) and log tables for the multiplicative group.
@@ -168,6 +169,25 @@ class GF:
         if not 0 < a < self.order:
             raise ValueError(f"{a} is not an element of GF(2^{self.m})")
         return int(self._log[a])
+
+    @property
+    def mul_table(self) -> np.ndarray | None:
+        """The full ``order x order`` product table, or None for m > 8.
+
+        Built lazily (64 KiB for GF(2^8)) and shared by the batched codec
+        kernels: a product becomes a single gather ``table[a, b]`` instead
+        of two log lookups, an add and an antilog lookup.  For GF(2^16)
+        the full table would be 8 GiB, so the batched kernels fall back to
+        the split log/antilog path and this property returns None.
+        """
+        if self.m > 8:
+            return None
+        if self._mul_table is None:
+            logs = self._log[1:]
+            table = np.zeros((self.order, self.order), dtype=self.dtype)
+            table[1:, 1:] = self._exp[logs[:, None] + logs[None, :]]
+            self._mul_table = table
+        return self._mul_table
 
     # -- bulk helpers used by the coding layer -----------------------------
 

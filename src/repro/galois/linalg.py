@@ -20,8 +20,10 @@ from .field import GF
 
 __all__ = [
     "gf_matmul",
+    "gf_matmul_batch",
     "gf_mat_vec",
     "gf_identity",
+    "gf_independent_columns",
     "gf_rref",
     "gf_rank",
     "gf_inv",
@@ -61,6 +63,65 @@ def gf_matmul(field: GF, a, b) -> np.ndarray:
         for k in range(a.shape[1]):
             field.addmul(acc, row[k], b[k])
     return out
+
+
+def gf_matmul_batch(field: GF, a, batch) -> np.ndarray:
+    """Multiply one matrix against a whole batch of stripes at once.
+
+    ``a`` is ``(r, k)``; ``batch`` is ``(stripes, k, width)`` — one
+    ``(k, width)`` payload per stripe.  Returns ``(stripes, r, width)``
+    with ``out[s] = a @ batch[s]`` over the field.
+
+    The contraction loops only over the k inner coefficients; each step
+    is a single table gather across every stripe and byte simultaneously
+    (full product table for m <= 8, split log/antilog tables above), so
+    the per-stripe Python overhead of repeated :func:`gf_matmul` calls
+    disappears.  This is the kernel under the codec engine's
+    ``encode_stripes``/``reconstruct`` batched APIs.
+    """
+    a = _as_matrix(field, a)
+    batch = np.asarray(batch, dtype=field.dtype)
+    if batch.ndim != 3:
+        raise ValueError(f"expected a (stripes, k, width) batch, got {batch.shape}")
+    stripes, k, width = batch.shape
+    if a.shape[1] != k:
+        raise ValueError(f"shape mismatch: {a.shape} x {batch.shape}")
+    rows = a.shape[0]
+    if 0 in (stripes, rows, width, k):
+        return np.zeros((stripes, rows, width), dtype=field.dtype)
+    # Work on flattened (stripes * width) symbol planes: 1-D contiguous
+    # gathers are the fastest thing numpy's fancy indexing does, and the
+    # intp index conversion is paid once per input plane, not once per
+    # (row, plane) product.
+    flat = np.ascontiguousarray(batch.transpose(1, 0, 2)).reshape(k, -1)
+    out = np.zeros((rows, stripes * width), dtype=field.dtype)
+    table = field.mul_table
+    for j in range(k):
+        plane = flat[j]
+        column = a[:, j]
+        index = None  # computed lazily, shared by every row needing it
+        log_plane = None
+        zero_mask = None
+        for i in range(rows):
+            coeff = int(column[i])
+            if coeff == 0:
+                continue
+            if coeff == 1:  # identity columns and XOR parities: plain xor
+                out[i] ^= plane
+            elif table is not None:
+                if index is None:
+                    index = plane.astype(np.intp)
+                out[i] ^= table[coeff][index]
+            else:  # m > 8: no full product table, use the split tables
+                if log_plane is None:
+                    log_plane = field._log[plane]
+                    zero_mask = plane == 0
+                scaled = field._exp[log_plane + field._log[coeff]]
+                scaled[zero_mask] = 0
+                out[i] ^= scaled
+    return np.ascontiguousarray(
+        out.reshape(rows, stripes, width).transpose(1, 0, 2)
+    )
 
 
 def gf_mat_vec(field: GF, a, v) -> np.ndarray:
@@ -108,6 +169,45 @@ def gf_rank(field: GF, a) -> int:
     """Rank of a matrix over GF(2^m)."""
     _, pivots = gf_rref(field, a)
     return len(pivots)
+
+
+def gf_independent_columns(
+    field: GF, a, candidates, target_rank: int | None = None
+) -> list[int]:
+    """Greedy prefix of ``candidates`` whose columns are independent.
+
+    Scans the candidate column indices in order, accepting each column
+    that increases the rank of the accepted set — the same selection the
+    decoders' greedy survivor choice makes — but runs *one* incremental
+    Gaussian elimination across the whole scan: each candidate is reduced
+    against the current echelon basis (O(rank) axpys) instead of
+    recomputing the rank of the accepted set from scratch per candidate.
+    Stops early once ``target_rank`` columns are accepted (defaults to
+    the row count, i.e. full rank).
+    """
+    a = _as_matrix(field, a)
+    if target_rank is None:
+        target_rank = a.shape[0]
+    chosen: list[int] = []
+    basis: list[tuple[int, np.ndarray]] = []  # (pivot row, normalised column)
+    for idx in candidates:
+        vector = a[:, idx].copy()
+        for pivot, reduced in basis:
+            coeff = vector[pivot]
+            if coeff:
+                field.addmul(vector, coeff, reduced)
+        nonzero = np.flatnonzero(vector)
+        if nonzero.size == 0:
+            continue  # dependent on the accepted columns
+        pivot = int(nonzero[0])
+        vector = np.asarray(
+            field.mul(vector, field.inv(vector[pivot])), dtype=field.dtype
+        )
+        basis.append((pivot, vector))
+        chosen.append(int(idx))
+        if len(chosen) == target_rank:
+            break
+    return chosen
 
 
 def gf_inv(field: GF, a) -> np.ndarray:

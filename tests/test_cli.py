@@ -33,6 +33,17 @@ class TestParser:
         assert args.trials == 10_000
         assert args.repair_scale == pytest.approx(1e-6)
 
+    def test_ec2_payload_bytes_flag(self):
+        args = build_parser().parse_args(["ec2", "--payload-bytes", "4096"])
+        assert args.payload_bytes == 4096
+        # Default defers to the library's DEFAULT_PAYLOAD_BYTES at dispatch.
+        assert build_parser().parse_args(["ec2"]).payload_bytes is None
+
+    def test_codec_defaults(self):
+        args = build_parser().parse_args(["codec"])
+        assert args.stripes == 512
+        assert args.payload_bytes == 1024
+
 
 class TestCommands:
     @pytest.mark.slow  # exhaustive distance certification over all patterns
@@ -57,6 +68,13 @@ class TestCommands:
         assert main(["ec2", "--files", "4", "--nodes", "20"]) == 0
         out = capsys.readouterr().out
         assert "HDFS-RS" in out and "HDFS-Xorbas" in out
+
+    def test_codec(self, capsys):
+        assert main(["codec", "--stripes", "32", "--payload-bytes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "DecoderCache" in out
+        assert "RS(10,4)" in out and "LRC(10,6,5)" in out
+        assert "NO" not in out  # every batched rebuild verified
 
     def test_facebook_small(self, capsys):
         assert main(["facebook", "--files", "40"]) == 0

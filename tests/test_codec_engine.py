@@ -1,0 +1,268 @@
+"""The codec engine's correctness contract.
+
+The batched/cached decode path must be *byte-identical* to the seed
+scalar path for every code family and every decodable erasure pattern —
+the engine is an optimisation, never a semantic change.  The reference
+implementation below is the seed algorithm verbatim: greedy
+rank-recomputing survivor selection, submatrix inversion, decode then
+re-encode.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    CauchyRSCode,
+    CodecEngine,
+    DecoderCache,
+    DecodingError,
+    PyramidCode,
+    ReedSolomonCode,
+    make_lrc,
+    three_replication,
+)
+from repro.galois import GF16, gf_independent_columns, gf_inv, gf_matmul, gf_rank
+
+WIDTH = 9
+
+
+def small_codes():
+    return [
+        ReedSolomonCode(4, 2, field=GF16),
+        make_lrc(4, 2, 2, field=GF16),
+        PyramidCode(4, 2, 2, field=GF16),
+        CauchyRSCode(4, 2, field=GF16),
+    ]
+
+
+def seed_decode(code, available):
+    """The seed scalar decoder (pre-engine), kept as the reference."""
+    indices = sorted(available)
+    if len(indices) < code.k:
+        raise DecodingError("not enough blocks")
+    chosen, rank = [], 0
+    for idx in indices:
+        candidate = chosen + [idx]
+        new_rank = gf_rank(code.field, code.generator[:, candidate])
+        if new_rank > rank:
+            chosen, rank = candidate, new_rank
+            if rank == code.k:
+                break
+    if rank != code.k:
+        raise DecodingError("available blocks do not span the data space")
+    submatrix = code.generator[:, chosen]
+    stacked = np.stack(
+        [np.asarray(available[i], dtype=code.field.dtype) for i in chosen]
+    )
+    return gf_matmul(code.field, gf_inv(code.field, submatrix.T), stacked)
+
+
+def decodable_patterns(code):
+    """Every erasure pattern of up to n - k erasures that stays decodable."""
+    for erasures in range(1, code.n - code.k + 1):
+        for erased in combinations(range(code.n), erasures):
+            available = set(range(code.n)) - set(erased)
+            if code.is_decodable(available):
+                yield tuple(erased), tuple(sorted(available))
+
+
+class TestByteIdenticalToSeedPath:
+    @pytest.mark.parametrize("code", small_codes(), ids=lambda c: c.name)
+    def test_every_decodable_pattern_matches_seed_decode(self, code):
+        rng = np.random.default_rng(17)
+        data = code.field.random_elements(rng, (code.k, WIDTH))
+        coded = code.encode(data)
+        patterns = 0
+        for erased, available in decodable_patterns(code):
+            payloads = {p: coded[p] for p in available}
+            reference = seed_decode(code, payloads)
+            assert np.array_equal(code.decode(payloads), reference)
+            rebuilt = code.reconstruct(erased, payloads)
+            assert rebuilt.shape == (1, len(erased), WIDTH)
+            for j, position in enumerate(erased):
+                assert np.array_equal(rebuilt[0, j], coded[position]), (
+                    code.name,
+                    erased,
+                    position,
+                )
+            patterns += 1
+        assert patterns > 0
+
+    @pytest.mark.parametrize("code", small_codes(), ids=lambda c: c.name)
+    def test_batched_reconstruct_matches_per_stripe(self, code):
+        rng = np.random.default_rng(23)
+        data3d = code.field.random_elements(rng, (12, code.k, WIDTH))
+        coded = code.encode_stripes(data3d)
+        assert np.array_equal(
+            coded, np.stack([code.encode(stripe) for stripe in data3d])
+        )
+        erased = (0, code.k)
+        available = {
+            p: coded[:, p, :] for p in range(code.n) if p not in erased
+        }
+        rebuilt = code.reconstruct(erased, available)
+        for j, position in enumerate(erased):
+            assert np.array_equal(rebuilt[:, j, :], coded[:, position, :])
+
+    @pytest.mark.parametrize("code", small_codes(), ids=lambda c: c.name)
+    def test_decode_stripes_matches_seed_decode(self, code):
+        rng = np.random.default_rng(29)
+        data3d = code.field.random_elements(rng, (8, code.k, WIDTH))
+        coded = code.encode_stripes(data3d)
+        erased = (1, code.k + 1)
+        available = {
+            p: coded[:, p, :] for p in range(code.n) if p not in erased
+        }
+        decoded = code.engine.decode_stripes(available)
+        assert np.array_equal(decoded, data3d)
+        for s in range(data3d.shape[0]):
+            reference = seed_decode(
+                code, {p: plane[s] for p, plane in available.items()}
+            )
+            assert np.array_equal(decoded[s], reference)
+
+    def test_replication_batched_matches_scalar(self):
+        code = three_replication()
+        rng = np.random.default_rng(5)
+        data3d = code.field.random_elements(rng, (6, 1, WIDTH))
+        coded = code.encode_stripes(data3d)
+        assert np.array_equal(
+            coded, np.stack([code.encode(stripe) for stripe in data3d])
+        )
+        available = {1: coded[:, 1, :]}
+        assert np.array_equal(
+            code.repair_stripes(0, available), coded[:, 0, :]
+        )
+
+
+class TestDecoderCache:
+    def test_eviction_and_reentry_preserve_results(self):
+        """A pattern evicted and re-built must reproduce the same bytes."""
+        code = ReedSolomonCode(4, 2, field=GF16)
+        engine = CodecEngine(code, cache_size=2)
+        rng = np.random.default_rng(3)
+        data = code.field.random_elements(rng, (code.k, WIDTH))
+        coded = code.encode(data)
+        patterns = [(0,), (1,), (2,), (3,), (4,), (5,), (0, 1), (2, 4)]
+        first_pass = {}
+        for erased in patterns:
+            available = {
+                p: coded[p] for p in range(code.n) if p not in erased
+            }
+            first_pass[erased] = engine.reconstruct(erased, available)
+        assert engine.cache.evictions > 0  # the LRU actually cycled
+        for erased in patterns:  # re-entry after eviction: identical bytes
+            available = {
+                p: coded[p] for p in range(code.n) if p not in erased
+            }
+            assert np.array_equal(
+                engine.reconstruct(erased, available), first_pass[erased]
+            )
+
+    def test_cache_hits_do_not_change_results(self):
+        code = make_lrc(4, 2, 2, field=GF16)
+        rng = np.random.default_rng(9)
+        data = code.field.random_elements(rng, (code.k, WIDTH))
+        coded = code.encode(data)
+        available = {p: coded[p] for p in range(1, code.n)}
+        first = code.reconstruct((0,), available)
+        hits_before = code.engine.cache.hits
+        second = code.reconstruct((0,), available)
+        assert code.engine.cache.hits > hits_before
+        assert np.array_equal(first, second)
+
+    def test_lru_bookkeeping(self):
+        cache = DecoderCache(maxsize=2)
+        assert cache.lookup("a", lambda: 1) == 1
+        assert cache.lookup("a", lambda: 2) == 1  # cached, builder not re-run
+        cache.lookup("b", lambda: 2)
+        cache.lookup("a", lambda: 3)  # refresh a: b becomes LRU
+        cache.lookup("c", lambda: 4)  # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["hits"] == 2
+
+    def test_undecodable_pattern_raises_and_is_not_cached(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        engine = CodecEngine(code)
+        with pytest.raises(DecodingError):
+            engine.decode_matrix({0, 1, 2})  # only 3 of k=4 survivors
+        assert len(engine.cache) == 0
+
+
+class TestRepairPlanner:
+    def test_lrc_prefers_light_plans(self):
+        code = make_lrc(4, 2, 2, field=GF16)
+        usable = set(range(1, code.n))
+        decision = code.planner.plan_block(0, usable)
+        assert decision.light and decision.plan is not None
+        assert set(decision.sources) <= usable
+
+    def test_rs_always_heavy(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        decision = code.planner.plan_block(0, set(range(1, code.n)))
+        assert decision.kind == "heavy"
+        assert decision.sources == tuple(range(1, code.n))
+
+    def test_loss_when_below_k(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        decision = code.planner.plan_block(0, {1, 2, 3})
+        assert not decision.feasible
+
+    def test_readable_filters_sources(self):
+        """Virtual zero-padding is usable but never read."""
+        code = make_lrc(4, 2, 2, field=GF16)
+        usable = set(range(1, code.n))
+        decision = code.planner.plan_block(0, usable, readable=usable - {1})
+        assert 1 not in decision.sources
+
+    def test_decisions_are_memoised(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        planner = code.planner
+        misses_before = planner.cache.misses
+        planner.plan_block(0, set(range(1, code.n)))
+        planner.plan_block(0, set(range(1, code.n)))
+        assert planner.cache.misses == misses_before + 1
+        assert planner.cache.hits >= 1
+
+    def test_stripe_planning(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        usable = set(range(2, code.n))
+        decision = code.planner.plan_stripe((0, 1), usable)
+        assert decision.kind == "heavy" and decision.lost == (0, 1)
+        assert not code.planner.plan_stripe((0, 1, 2), set(range(3, code.n))).feasible
+
+
+class TestIncrementalColumnSelection:
+    def test_matches_seed_greedy_selection(self):
+        """The incremental eliminator must accept exactly the columns the
+        seed rank-per-candidate greedy accepted (same order, same set)."""
+        rng = np.random.default_rng(41)
+        for code in small_codes():
+            for _ in range(25):
+                size = int(rng.integers(code.k, code.n + 1))
+                indices = sorted(
+                    rng.choice(code.n, size=size, replace=False).tolist()
+                )
+                chosen, rank = [], 0
+                for idx in indices:
+                    candidate = chosen + [idx]
+                    new_rank = gf_rank(code.field, code.generator[:, candidate])
+                    if new_rank > rank:
+                        chosen, rank = candidate, new_rank
+                        if rank == code.k:
+                            break
+                incremental = gf_independent_columns(
+                    code.field, code.generator, indices, target_rank=code.k
+                )
+                if rank == code.k:
+                    assert incremental == chosen
+                else:
+                    assert len(incremental) < code.k
+
+    def test_deficient_candidates(self):
+        code = ReedSolomonCode(4, 2, field=GF16)
+        assert code._independent_columns([0, 1]) is None
+        assert code._independent_columns([0, 1, 2, 3]) == [0, 1, 2, 3]
