@@ -8,10 +8,18 @@ run scaled-down versions of the paper's cluster experiments.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _fmt(value: float, spec: str = ".1f") -> str:
+    """NaN-safe number formatting: empty-window stats print as n/a."""
+    if isinstance(value, float) and math.isnan(value):
+        return "n/a"
+    return format(value, spec)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     ec2 = sub.add_parser("ec2", help="run a (scaled) EC2 failure experiment")
     ec2.add_argument("--files", type=int, default=20)
+    ec2.add_argument(
+        "--blocks",
+        type=float,
+        default=None,
+        help=(
+            "target total data blocks (overrides --files; the columnar "
+            "BlockIndex makes million-block runs practical, e.g. "
+            "--blocks 1e6)"
+        ),
+    )
     ec2.add_argument("--nodes", type=int, default=50)
     ec2.add_argument("--seed", type=int, default=0)
     ec2.add_argument(
@@ -83,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     facebook = sub.add_parser("facebook", help="run the Table 3 experiment")
     facebook.add_argument("--files", type=int, default=200)
+    facebook.add_argument(
+        "--blocks",
+        type=float,
+        default=None,
+        help="target total data blocks (overrides --files)",
+    )
     facebook.add_argument("--seed", type=int, default=0)
 
     workload = sub.add_parser(
@@ -173,12 +197,16 @@ def _cmd_ec2(
     jobs: int | None,
     cache_dir: str | None,
     payload_bytes: int | None,
+    blocks: float | None = None,
 ) -> int:
     from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
-    from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES
+    from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES, ec2_files_for_blocks
 
     if payload_bytes is None:
         payload_bytes = DEFAULT_PAYLOAD_BYTES
+    if blocks is not None:
+        files = ec2_files_for_blocks(blocks)
+        print(f"--blocks {blocks:g}: running {files} one-stripe files")
     cache = ResultCache(cache_dir) if cache_dir else None
     print(
         f"Running EC2 experiment: {files} files, {nodes} slaves, "
@@ -324,9 +352,13 @@ def _cmd_montecarlo(trials: int, repair_scale: float, seed: int) -> int:
     return 0 if all_consistent else 1
 
 
-def _cmd_facebook(files: int, seed: int) -> int:
+def _cmd_facebook(files: int, seed: int, blocks: float | None = None) -> int:
     from .experiments import format_table, run_facebook_experiment
+    from .experiments.facebook import facebook_files_for_blocks
 
+    if blocks is not None:
+        files = facebook_files_for_blocks(blocks)
+        print(f"--blocks {blocks:g}: running {files} files (paper size mix)")
     print(f"Running Facebook test-cluster experiment with {files} files ...")
     rows = run_facebook_experiment(num_files=files, seed=seed)
     print(
@@ -359,7 +391,7 @@ def _cmd_workload(seed: int) -> int:
             [
                 (
                     r.scenario,
-                    f"{r.average_minutes:.1f}",
+                    _fmt(r.average_minutes),
                     f"{r.total_bytes_read / 1e9:.1f}",
                     r.degraded_reads,
                 )
@@ -412,7 +444,7 @@ def _cmd_degraded(hours: float, seed: int) -> int:
                     s.scheme,
                     s.total_reads,
                     f"{s.degraded_fraction:.2%}",
-                    f"{s.mean_degraded_latency:.1f}",
+                    _fmt(s.mean_degraded_latency),
                     f"{s.availability:.5f}",
                 )
                 for s in rows
@@ -465,13 +497,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.jobs,
             args.cache_dir,
             args.payload_bytes,
+            args.blocks,
         )
     if args.command == "codec":
         return _cmd_codec(args.stripes, args.payload_bytes, args.seed)
     if args.command == "montecarlo":
         return _cmd_montecarlo(args.trials, args.repair_scale, args.seed)
     if args.command == "facebook":
-        return _cmd_facebook(args.files, args.seed)
+        return _cmd_facebook(args.files, args.seed, args.blocks)
     if args.command == "workload":
         return _cmd_workload(args.seed)
     if args.command == "baselines":

@@ -8,6 +8,7 @@ daemon with light/heavy decoders, plus failure injection and metric
 collection at the paper's 5-minute monitoring resolution.
 """
 
+from .blockindex import BlockIndex, RepairQueueEntry
 from .blocks import BlockId, StoredFile, Stripe, encode_stripe_payloads
 from .blockfixer import BlockFixer, LightRepairTask, StripeRepairTask
 from .config import ClusterConfig, ec2_config, facebook_config
@@ -33,7 +34,13 @@ from .integrity import (
 )
 from .mapreduce import JobTracker, MapReduceJob, Task
 from .metrics import FailureEventRecord, MetricsCollector, TimeSeries
-from .namenode import DataNode, NameNode, PlacementError
+from .namenode import (
+    DataNode,
+    DictDataNode,
+    DictNameNode,
+    NameNode,
+    PlacementError,
+)
 from .network import Network, Transfer
 from .raidnode import EncodeStripeTask, RaidNode
 from .scrubber_daemon import ScrubberDaemon
@@ -41,6 +48,8 @@ from .sim import Event, Simulation
 from .workload import DegradedReadStats, WordCountTask, make_wordcount_job
 
 __all__ = [
+    "BlockIndex",
+    "RepairQueueEntry",
     "BlockId",
     "StoredFile",
     "Stripe",
@@ -74,6 +83,8 @@ __all__ = [
     "MetricsCollector",
     "TimeSeries",
     "DataNode",
+    "DictDataNode",
+    "DictNameNode",
     "NameNode",
     "PlacementError",
     "Network",

@@ -25,7 +25,6 @@ products instead of one Gaussian elimination per stripe.
 from __future__ import annotations
 
 import zlib
-from collections import defaultdict
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -190,6 +189,7 @@ class LightRepairTask(Task):
         self.stripe = stripe
         self.position = position
         self.batch = batch
+        self._counted = False  # repair-metric accounting: once per block
 
     def describe(self) -> str:
         return f"repair {self.stripe.block_id(self.position)}"
@@ -236,7 +236,12 @@ class LightRepairTask(Task):
         def complete() -> None:
             cluster.namenode.missing_blocks.discard(block)
             self.fixer.release(block)
-            cluster.metrics.record_repair_kind(light)
+            # Exactly-once accounting: a write surviving a failed
+            # attempt and the retry's own write both land here, but the
+            # block was rebuilt once.
+            if not self._counted:
+                self._counted = True
+                cluster.metrics.record_repair_kind(light)
             finish(True)
 
         cluster.read_blocks(
@@ -280,6 +285,12 @@ class StripeRepairTask(Task):
         self.stripe = stripe
         self.blocks = blocks
         self.batch = batch
+        # Positions already counted in the repair metrics.  A task whose
+        # batch of writes partially failed is retried while the
+        # successful writes of the first attempt may still be landing;
+        # each rebuilt block must be counted exactly once across all
+        # attempts, not once per completed write.
+        self._counted: set[int] = set()
 
     def describe(self) -> str:
         return f"repair stripe {self.stripe.file_name}/s{self.stripe.index}"
@@ -318,7 +329,9 @@ class StripeRepairTask(Task):
             def one_written(position: int) -> None:
                 cluster.namenode.missing_blocks.discard(stripe.block_id(position))
                 self.fixer.release(stripe.block_id(position))
-                cluster.metrics.record_repair_kind(light=False)
+                if position not in self._counted:
+                    self._counted.add(position)
+                    cluster.metrics.record_repair_kind(light=False)
                 state["remaining"] -= 1
                 if state["remaining"] == 0 and not state["failed"]:
                     finish(True)
@@ -408,31 +421,28 @@ class BlockFixer:
     def scan(self) -> MapReduceJob | None:
         """One scan pass: build and submit a repair job if needed.
 
-        All payload rebuilds for the pass are precomputed here in batched
-        codec-engine calls — one reconstruction per erasure pattern, not
-        per stripe.
+        The repair queue — dirty stripes with their missing positions
+        and decoder-usable patterns — is built in one columnar pass over
+        the NameNode's BlockIndex, and all payload rebuilds for the pass
+        are precomputed in batched codec-engine calls: one
+        reconstruction per erasure pattern, not per stripe.
         """
         namenode = self.cluster.namenode
-        pending = sorted(namenode.missing_blocks - self.in_repair)
-        if not pending:
+        queue = namenode.repair_queue(self.in_repair)
+        if not queue:
             return None
-        by_stripe: dict[tuple[str, int], list[BlockId]] = defaultdict(list)
-        for block in pending:
-            by_stripe[(block.file_name, block.stripe_index)].append(block)
         batch = PayloadRepairBatch()
         entries: list[tuple[Stripe, tuple[int, ...], frozenset]] = []
         tasks: list[Task] = []
-        for key, blocks in sorted(by_stripe.items()):
-            stripe = namenode.stripes[key]
-            usable = frozenset(_available_with_virtual(self.cluster, stripe))
-            missing = tuple(sorted(namenode.missing_positions(stripe)))
-            entries.append((stripe, missing, usable))
+        for entry in queue:
+            stripe = entry.stripe
+            entries.append((stripe, entry.missing, entry.usable))
             if self.light_capable:
-                for block in blocks:
+                for block in entry.blocks:
                     tasks.append(LightRepairTask(self, stripe, block.position, batch))
             else:
-                tasks.append(StripeRepairTask(self, stripe, blocks, batch))
-            self.in_repair.update(blocks)
+                tasks.append(StripeRepairTask(self, stripe, list(entry.blocks), batch))
+            self.in_repair.update(entry.blocks)
         batch.schedule(entries)
         self.payload_batch_groups += batch.groups
         self.payload_batch_stripes += batch.stripes

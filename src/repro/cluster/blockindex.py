@@ -1,0 +1,516 @@
+"""Columnar block metadata: the simulator's struct-of-arrays block map.
+
+The paper's production setting is a ~3000-node warehouse with tens of
+millions of blocks and a median of ~50k block repairs per day; tracking
+every block through per-object Python dicts caps realistic simulations
+at a few tens of thousands of blocks.  The queries that dominate
+simulator time — failure detection, fsck, repair-queue construction —
+are *scans*, and (as Polynesia argues for analytical scans generally) a
+columnar struct-of-arrays layout is the right representation for them.
+
+``BlockIndex`` stores one row per stripe position, allocated as a
+contiguous slab of ``n`` rows when the stripe registers, so
+``row = slab_base + position``.  Columns:
+
+* ``node``     — index of the DataNode holding the block, or -1
+* ``missing``  — the NameNode has declared the block missing
+* ``sid``      — stripe id (index into the registration-ordered table)
+* ``pos``      — position within the stripe
+* ``kind``     — data / global parity / local parity
+
+Node liveness/decommission flags and per-node block counters are
+columnar too, so ``kill_node``/``detect_failures``/``fsck`` and the
+bulk repair-queue builder are numpy kernels over the whole cluster
+instead of Python loops over dicts and sets.
+
+Virtual (zero-padding) positions own rows but are never placed, so the
+stored/available masks exclude them for free.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import NamedTuple
+
+import numpy as np
+
+from .blocks import BlockId, Stripe, block_kind
+
+__all__ = ["BlockIndex", "RepairQueueEntry"]
+
+KIND_NAMES = ("data", "parity", "local_parity")
+_KIND_CODE = {name: code for code, name in enumerate(KIND_NAMES)}
+
+
+class RepairQueueEntry(NamedTuple):
+    """One dirty stripe of a BlockFixer scan, fully resolved.
+
+    ``blocks`` are the missing blocks *not* already under repair (what
+    the scan dispatches, sorted by position); ``missing`` is every
+    missing position of the stripe; ``usable`` is the decoder's view:
+    readable positions plus known-zero padding.
+    """
+
+    stripe: Stripe
+    blocks: tuple[BlockId, ...]
+    missing: tuple[int, ...]
+    usable: frozenset[int]
+
+
+class BlockIndex:
+    """Struct-of-arrays block→placement map with vectorized scans."""
+
+    def __init__(self, node_ids: list[str], initial_rows: int = 1024):
+        if not node_ids:
+            raise ValueError("cluster needs at least one DataNode")
+        self.node_ids: list[str] = list(node_ids)
+        self.node_index: dict[str, int] = {
+            node_id: i for i, node_id in enumerate(node_ids)
+        }
+        num_nodes = len(node_ids)
+        self.node_alive = np.ones(num_nodes, dtype=bool)
+        self.node_decommissioning = np.zeros(num_nodes, dtype=bool)
+        self.node_block_count = np.zeros(num_nodes, dtype=np.int64)
+
+        capacity = max(int(initial_rows), 16)
+        self.node = np.full(capacity, -1, dtype=np.int32)
+        self.missing = np.zeros(capacity, dtype=bool)
+        self.sid = np.zeros(capacity, dtype=np.int32)
+        self.pos = np.zeros(capacity, dtype=np.int16)
+        self.kind = np.zeros(capacity, dtype=np.int8)
+        self.rows_used = 0
+
+        # Stripe table (registration order).  Bases/widths live in plain
+        # lists (O(1) appends, fast scalar reads) with numpy mirrors
+        # rebuilt lazily for the vectorized builders.
+        self.stripes: list[Stripe] = []
+        self._base_list: list[int] = []
+        self._n_list: list[int] = []
+        self._base_array: np.ndarray | None = None
+        self._n_array: np.ndarray | None = None
+        self._stripe_files: list[str] = []
+        self._stripe_indices: list[int] = []
+        self._virtual_bits: list[int] = []
+        self._sid_by_key: dict[tuple[str, int], int] = {}
+        # Lexicographic rank of each stripe key, rebuilt lazily: block
+        # ordering is (file_name, stripe_index, position) and scans must
+        # return blocks in exactly that order.
+        self._stripe_rank: np.ndarray | None = None
+        # Per-code kind row template, computed once per code object.
+        self._kind_template: dict[int, np.ndarray] = {}
+        # Interning caches for the bulk repair-queue builder: erasure
+        # patterns repeat massively across stripes (a node failure gives
+        # at most n distinct patterns), so sets/tuples are built once
+        # per distinct bitmask, not once per stripe.
+        self._usable_cache: dict[int, frozenset[int]] = {}
+        self._missing_cache: dict[int, tuple[int, ...]] = {}
+
+        self.stored_count = 0
+        self.missing_count = 0
+
+    # -- growth ---------------------------------------------------------------
+
+    def _ensure_capacity(self, rows: int) -> None:
+        capacity = len(self.node)
+        if rows <= capacity:
+            return
+        new_capacity = capacity
+        while new_capacity < rows:
+            new_capacity *= 2
+        for name in ("node", "missing", "sid", "pos", "kind"):
+            old = getattr(self, name)
+            grown = np.full(
+                new_capacity, -1 if name == "node" else 0, dtype=old.dtype
+            )
+            grown[:capacity] = old
+            setattr(self, name, grown)
+
+    # -- stripe registration --------------------------------------------------
+
+    def _kinds_for(self, stripe: Stripe) -> np.ndarray:
+        key = id(stripe.code)
+        template = self._kind_template.get(key)
+        if template is None:
+            template = np.array(
+                [
+                    _KIND_CODE[block_kind(stripe.code, p)]
+                    for p in range(stripe.code.n)
+                ],
+                dtype=np.int8,
+            )
+            self._kind_template[key] = template
+        return template
+
+    def register_stripe(self, stripe: Stripe) -> int:
+        """Allocate the stripe's row slab (idempotent); returns its sid."""
+        key = (stripe.file_name, stripe.index)
+        sid = self._sid_by_key.get(key)
+        if sid is not None:
+            return sid
+        sid = len(self.stripes)
+        n = stripe.n
+        base = self.rows_used
+        self._ensure_capacity(base + n)
+        rows = slice(base, base + n)
+        self.node[rows] = -1
+        self.missing[rows] = False
+        self.sid[rows] = sid
+        self.pos[rows] = np.arange(n, dtype=np.int16)
+        self.kind[rows] = self._kinds_for(stripe)
+        self.rows_used = base + n
+        self.stripes.append(stripe)
+        self._base_list.append(base)
+        self._n_list.append(n)
+        self._base_array = self._n_array = None
+        self._stripe_files.append(stripe.file_name)
+        self._stripe_indices.append(stripe.index)
+        # Zero-padding positions [data_blocks, k) as a pattern bitmask,
+        # precomputed so the repair-queue builder never touches the
+        # Stripe object (0 for stripes too wide for 62-bit masks).
+        self._virtual_bits.append(
+            (1 << stripe.code.k) - (1 << stripe.data_blocks) if n <= 62 else 0
+        )
+        self._sid_by_key[key] = sid
+        self._stripe_rank = None  # ranks are stale until rebuilt
+        return sid
+
+    @property
+    def stripe_base(self) -> np.ndarray:
+        if self._base_array is None or len(self._base_array) != len(self._base_list):
+            self._base_array = np.asarray(self._base_list, dtype=np.int64)
+        return self._base_array
+
+    @property
+    def stripe_n(self) -> np.ndarray:
+        if self._n_array is None or len(self._n_array) != len(self._n_list):
+            self._n_array = np.asarray(self._n_list, dtype=np.int64)
+        return self._n_array
+
+    def row_of(self, block: BlockId) -> int:
+        """The row holding a block, or -1 for unregistered stripes."""
+        sid = self._sid_by_key.get((block.file_name, block.stripe_index))
+        if sid is None:
+            return -1
+        if not 0 <= block.position < self._n_list[sid]:
+            return -1
+        return self._base_list[sid] + block.position
+
+    def block_of(self, row: int) -> BlockId:
+        stripe = self.stripes[self.sid[row]]
+        return BlockId(stripe.file_name, stripe.index, int(self.pos[row]))
+
+    # -- ordering -------------------------------------------------------------
+
+    def _ranks(self) -> np.ndarray:
+        """Lexicographic rank per sid, cached between registrations.
+
+        Block ordering is (file_name, stripe_index, position); a numpy
+        string lexsort ranks all stripes in one vectorized pass.
+        """
+        if self._stripe_rank is None or len(self._stripe_rank) != len(self.stripes):
+            order = np.lexsort(
+                (
+                    np.asarray(self._stripe_indices, dtype=np.int64),
+                    np.asarray(self._stripe_files),
+                )
+            )
+            ranks = np.empty(len(self.stripes), dtype=np.int64)
+            ranks[order] = np.arange(len(self.stripes))
+            self._stripe_rank = ranks
+        return self._stripe_rank
+
+    def sort_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Order rows by BlockId ordering: (file, stripe index, position)."""
+        if rows.size == 0:
+            return rows
+        ranks = self._ranks()
+        order = np.lexsort((self.pos[rows], ranks[self.sid[rows]]))
+        return rows[order]
+
+    def blocks_of_rows(self, rows: np.ndarray) -> list[BlockId]:
+        """Materialize BlockIds for rows (already in the desired order).
+
+        Built entirely from C-level iteration (``map`` over list
+        ``__getitem__`` + ``tuple.__new__``): failure events materialize
+        tens of thousands of these per kill.
+        """
+        files = self._stripe_files
+        indices = self._stripe_indices
+        sids = self.sid[rows].tolist()
+        positions = self.pos[rows].tolist()
+        return list(
+            map(
+                partial(tuple.__new__, BlockId),
+                zip(
+                    map(files.__getitem__, sids),
+                    map(indices.__getitem__, sids),
+                    positions,
+                ),
+            )
+        )
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, row: int, node_idx: int) -> None:
+        previous = self.node[row]
+        if previous != node_idx:
+            if previous >= 0:
+                # Re-placement (e.g. a racing duplicate repair write):
+                # the block lives on exactly one node.
+                self.node_block_count[previous] -= 1
+            else:
+                self.stored_count += 1
+            self.node[row] = node_idx
+            self.node_block_count[node_idx] += 1
+        if self.missing[row]:
+            self.missing[row] = False
+            self.missing_count -= 1
+
+    def unplace(self, row: int) -> None:
+        node_idx = self.node[row]
+        if node_idx >= 0:
+            self.node[row] = -1
+            self.node_block_count[node_idx] -= 1
+            self.stored_count -= 1
+
+    def set_missing(self, row: int, flag: bool) -> None:
+        if self.missing[row] != flag:
+            self.missing[row] = flag
+            self.missing_count += 1 if flag else -1
+
+    # -- node-level scans -----------------------------------------------------
+
+    def rows_on_node(self, node_idx: int) -> np.ndarray:
+        return np.flatnonzero(self.node[: self.rows_used] == node_idx)
+
+    def drop_node_rows(self, node_idx: int, mark_missing: bool) -> np.ndarray:
+        """Vectorized detect_failures: clear placements, flag missing."""
+        rows = self.rows_on_node(node_idx)
+        if rows.size:
+            self.node[rows] = -1
+            self.stored_count -= rows.size
+            self.node_block_count[node_idx] = 0
+            if mark_missing:
+                newly = rows[~self.missing[rows]]
+                self.missing[newly] = True
+                self.missing_count += newly.size
+        return rows
+
+    def missing_rows(self) -> np.ndarray:
+        return np.flatnonzero(self.missing[: self.rows_used])
+
+    # -- stripe-level views ---------------------------------------------------
+
+    def stripe_rows(self, stripe: Stripe) -> slice | None:
+        sid = self._sid_by_key.get((stripe.file_name, stripe.index))
+        if sid is None:
+            return None
+        base = self._base_list[sid]
+        return slice(base, base + self._n_list[sid])
+
+    def available_positions(self, stripe: Stripe) -> dict[int, str]:
+        """position -> node id for every currently readable stored block."""
+        rows = self.stripe_rows(stripe)
+        if rows is None:
+            return {}
+        nodes = self.node[rows]
+        stored = nodes >= 0
+        readable = stored.copy()
+        readable[stored] = self.node_alive[nodes[stored]]
+        node_ids = self.node_ids
+        return {
+            int(p): node_ids[nodes[p]] for p in np.flatnonzero(readable)
+        }
+
+    def stripe_node_set(self, stripe: Stripe) -> set[str]:
+        """Nodes holding any placed block of the stripe (alive or not)."""
+        rows = self.stripe_rows(stripe)
+        if rows is None:
+            return set()
+        nodes = self.node[rows]
+        node_ids = self.node_ids
+        return {node_ids[i] for i in np.unique(nodes[nodes >= 0]).tolist()}
+
+    def missing_positions(self, stripe: Stripe) -> list[int]:
+        rows = self.stripe_rows(stripe)
+        if rows is None:
+            return []
+        return [int(p) for p in np.flatnonzero(self.missing[rows])]
+
+    # -- cluster health -------------------------------------------------------
+
+    def fsck(self) -> dict[str, int]:
+        alive = int(self.node_alive.sum())
+        return {
+            "stored_blocks": int(self.stored_count),
+            "missing_blocks": int(self.missing_count),
+            "dead_nodes": len(self.node_ids) - alive,
+            "alive_nodes": alive,
+        }
+
+    # -- the bulk repair-queue builder ---------------------------------------
+
+    def _interned_usable(self, bits: int, n: int) -> frozenset[int]:
+        cached = self._usable_cache.get(bits)
+        if cached is None:
+            cached = frozenset(p for p in range(n) if bits >> p & 1)
+            self._usable_cache[bits] = cached
+        return cached
+
+    def _interned_missing(self, bits: int, n: int) -> tuple[int, ...]:
+        cached = self._missing_cache.get(bits)
+        if cached is None:
+            cached = tuple(p for p in range(n) if bits >> p & 1)
+            self._missing_cache[bits] = cached
+        return cached
+
+    def build_repair_queue(
+        self, exclude_rows: np.ndarray | None = None
+    ) -> list[RepairQueueEntry]:
+        """All stripes with missing blocks eligible for repair, resolved.
+
+        One pass over the columns builds, for every dirty stripe (in
+        BlockId order): the pending blocks (missing minus ``exclude_rows``,
+        the fixer's in-repair set), every missing position, and the
+        decoder-usable set (readable + virtual zero padding).  Erasure
+        patterns are computed as bitmasks on the stacked slabs and
+        interned, so the Python-object cost is per *distinct pattern*,
+        not per stripe.
+        """
+        pending = self.missing_rows()
+        excluding = exclude_rows is not None and exclude_rows.size > 0
+        if excluding:
+            pending = pending[
+                ~np.isin(pending, exclude_rows, assume_unique=False)
+            ]
+        if pending.size == 0:
+            return []
+        dirty_sids = np.unique(self.sid[pending])
+        ranks = self._ranks()
+        dirty_sids = dirty_sids[np.argsort(ranks[dirty_sids], kind="stable")]
+
+        entries: list[RepairQueueEntry] = []
+        widths = np.unique(self.stripe_n[dirty_sids])
+        for group_n in widths:
+            sids = dirty_sids[self.stripe_n[dirty_sids] == group_n]
+            entries.extend(
+                self._queue_for_width(
+                    sids, int(group_n), pending if excluding else None
+                )
+            )
+        if len(entries) > 1 and widths.size > 1:
+            entries.sort(
+                key=lambda e: (e.stripe.file_name, e.stripe.index)
+            )
+        return entries
+
+    def _queue_for_width(
+        self, sids: np.ndarray, n: int, pending: np.ndarray | None
+    ) -> list[RepairQueueEntry]:
+        """``pending is None`` means nothing is excluded: every missing
+        block is dispatchable, so the dispatch plane is the missing one."""
+        bases = self.stripe_base[sids]
+        slab = bases[:, None] + np.arange(n, dtype=np.int64)[None, :]
+        nodes = self.node[slab]
+        # One gather resolves stored + alive: appending False lets the
+        # unplaced marker (-1) index the sentinel slot.
+        alive_lookup = np.concatenate((self.node_alive, [False]))
+        readable = alive_lookup[nodes]
+        missing = self.missing[slab]
+        if pending is None:
+            dispatch = missing
+        else:
+            pending_mask = np.zeros(self.rows_used, dtype=bool)
+            pending_mask[pending] = True
+            dispatch = pending_mask[slab]
+
+        if n > 62:
+            # Pattern bitmasks would overflow int64 (archival sweeps use
+            # stripes of 100+ blocks); build the sets row by row instead.
+            return self._queue_wide(sids, readable, missing, dispatch)
+
+        weights = 1 << np.arange(n, dtype=np.int64)
+        readable_bits = (readable @ weights).tolist()
+        missing_bits = (missing @ weights).tolist()
+        if pending is None:
+            dispatch_bits = missing_bits
+        else:
+            dispatch_bits = (dispatch @ weights).tolist()
+
+        entries: list[RepairQueueEntry] = []
+        append = entries.append
+        stripes, files, indices = self.stripes, self._stripe_files, self._stripe_indices
+        virtuals = self._virtual_bits
+        missing_cache, usable_cache = self._missing_cache, self._usable_cache
+        interned_missing, interned_usable = (
+            self._interned_missing,
+            self._interned_usable,
+        )
+        # tuple.__new__ is the C-level constructor both NamedTuples wrap;
+        # calling it directly skips the generated __new__ in this
+        # per-dirty-stripe loop (the only O(dirty stripes) Python left).
+        tuple_new = tuple.__new__
+        entry_cls = RepairQueueEntry
+        block_cls = BlockId
+        for sid, dbits, mbits, rbits in zip(
+            sids.tolist(), dispatch_bits, missing_bits, readable_bits
+        ):
+            to_dispatch = missing_cache.get(dbits)
+            if to_dispatch is None:
+                to_dispatch = interned_missing(dbits, n)
+            if not to_dispatch:
+                continue
+            if mbits == dbits:
+                missing_tuple = to_dispatch
+            else:
+                missing_tuple = missing_cache.get(mbits)
+                if missing_tuple is None:
+                    missing_tuple = interned_missing(mbits, n)
+            bits = rbits | virtuals[sid]
+            usable = usable_cache.get(bits)
+            if usable is None:
+                usable = interned_usable(bits, n)
+            file_name, index = files[sid], indices[sid]
+            if len(to_dispatch) == 1:  # the common one-lost-block stripe
+                blocks = (
+                    tuple_new(block_cls, (file_name, index, to_dispatch[0])),
+                )
+            else:
+                blocks = tuple(
+                    tuple_new(block_cls, (file_name, index, p))
+                    for p in to_dispatch
+                )
+            append(
+                tuple_new(
+                    entry_cls, (stripes[sid], blocks, missing_tuple, usable)
+                )
+            )
+        return entries
+
+    def _queue_wide(
+        self,
+        sids: np.ndarray,
+        readable: np.ndarray,
+        missing: np.ndarray,
+        dispatch: np.ndarray,
+    ) -> list[RepairQueueEntry]:
+        entries: list[RepairQueueEntry] = []
+        for i, sid in enumerate(sids.tolist()):
+            stripe = self.stripes[sid]
+            to_dispatch = tuple(int(p) for p in np.flatnonzero(dispatch[i]))
+            if not to_dispatch:
+                continue
+            usable = {int(p) for p in np.flatnonzero(readable[i])}
+            usable.update(range(stripe.data_blocks, stripe.code.k))
+            entries.append(
+                RepairQueueEntry(
+                    stripe=stripe,
+                    blocks=tuple(
+                        BlockId(stripe.file_name, stripe.index, p)
+                        for p in to_dispatch
+                    ),
+                    missing=tuple(int(p) for p in np.flatnonzero(missing[i])),
+                    usable=frozenset(usable),
+                )
+            )
+        return entries

@@ -16,7 +16,7 @@ block *sizes* are simulated, block *math* is real.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 import numpy as np
 
@@ -32,9 +32,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, order=True)
-class BlockId:
-    """Globally unique block identifier: (file, stripe, position)."""
+class BlockId(NamedTuple):
+    """Globally unique block identifier: (file, stripe, position).
+
+    A NamedTuple rather than a dataclass: block ids are created by the
+    million in metadata scans, and tuple construction/hash/ordering run
+    in C while keeping the exact field semantics (lexicographic order
+    by file, stripe, then position).
+    """
 
     file_name: str
     stripe_index: int

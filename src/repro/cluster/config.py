@@ -76,6 +76,14 @@ class ClusterConfig:
     timeseries_bucket: float = 300.0  # Fig 5 uses 5-minute resolution
     cpu_transfer_share: float = 0.25  # CPU load while streaming (vs computing)
 
+    # --- determinism ---------------------------------------------------------
+    # Seed for the cluster's failure processes (FailureInjector and
+    # friends) when no explicit rng is handed down.  ``None`` derives it
+    # from the cluster's own seed, so distinct experiment seeds always
+    # draw distinct failure traces — there is no hidden module-level
+    # default seed anywhere in the failure path.
+    failure_seed: int | None = None
+
     def validate(self) -> "ClusterConfig":
         if self.num_nodes < 1:
             raise ValueError("cluster needs at least one node")

@@ -119,7 +119,7 @@ class DecommissionManager:
         self.bytes_read_from_node_before = self.cluster.metrics.disk_read_by_node.get(
             self.node_id, 0.0
         )
-        blocks = sorted(node.blocks)
+        blocks = namenode.blocks_on_node(self.node_id)
         self.blocks_total = len(blocks)
         tasks: list[Task] = []
         for block in blocks:
@@ -142,7 +142,7 @@ class DecommissionManager:
 
     def _retire(self) -> None:
         node = self.cluster.namenode.node(self.node_id)
-        if not node.blocks:
+        if node.block_count == 0:  # O(1) counter, not a block-set scan
             node.alive = False
             self.retired = True
 

@@ -22,11 +22,13 @@ availability discussion connects to the Ford et al. [9] metric.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..codes.base import ErasureCode
+from .metrics import percentile
 from .sim import Simulation
 
 __all__ = [
@@ -93,18 +95,18 @@ class ReadServiceStats:
 
     @property
     def mean_latency(self) -> float:
-        return float(np.mean(self.latencies)) if self.latencies else 0.0
+        """Mean read latency; NaN for an empty window (no reads is not
+        the same observation as instant reads)."""
+        return float(np.mean(self.latencies)) if self.latencies else math.nan
 
     @property
     def mean_degraded_latency(self) -> float:
         if not self.degraded_latencies:
-            return 0.0
+            return math.nan
         return float(np.mean(self.degraded_latencies))
 
     def percentile_latency(self, q: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, q))
+        return percentile(self.latencies, q)
 
 
 class DegradedReadSimulation:

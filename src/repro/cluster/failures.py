@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .hdfs import HadoopCluster
+from .metrics import summary_stats
 
 __all__ = [
     "EC2_FAILURE_PATTERN",
@@ -27,11 +28,31 @@ EC2_FAILURE_PATTERN: tuple[int, ...] = (1, 1, 1, 1, 3, 3, 2, 2)
 
 
 class FailureInjector:
-    """Scripted DataNode terminations against a simulated cluster."""
+    """Scripted DataNode terminations against a simulated cluster.
 
-    def __init__(self, cluster: HadoopCluster, rng: np.random.Generator | None = None):
+    With no explicit ``rng`` the injector derives its randomness from
+    the cluster's failure seed (itself derived from the experiment seed
+    unless ``ClusterConfig.failure_seed`` pins it), so two experiments
+    with different seeds draw different failure traces.  The historical
+    behaviour — a hard-coded ``default_rng(1234)`` shared by every
+    experiment regardless of its seed — silently made "independent"
+    replications identical.
+    """
+
+    def __init__(
+        self,
+        cluster: HadoopCluster,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ):
         self.cluster = cluster
-        self.rng = rng if rng is not None else np.random.default_rng(1234)
+        if rng is None:
+            if seed is None:
+                seed = getattr(cluster, "failure_seed", 0)
+            rng = np.random.default_rng(
+                np.random.SeedSequence([0xFA11, int(seed)])
+            )
+        self.rng = rng
         self.killed: list[str] = []
 
     def pick_nodes(self, count: int) -> list[str]:
@@ -43,8 +64,11 @@ class FailureInjector:
         alive = self.cluster.namenode.alive_nodes()
         if count > len(alive):
             raise ValueError(f"cannot kill {count} of {len(alive)} alive nodes")
-        average = float(np.mean([n.block_count for n in alive]))
-        ranked = sorted(alive, key=lambda n: (abs(n.block_count - average), n.node_id))
+        counts = self.cluster.namenode.node_block_counts()
+        average = float(np.mean([counts[n.node_id] for n in alive]))
+        ranked = sorted(
+            alive, key=lambda n: (abs(counts[n.node_id] - average), n.node_id)
+        )
         # Randomise among the closest-to-average half to avoid always
         # killing the same nodes across events.
         pool = ranked[: max(count, len(ranked) // 2)]
@@ -88,13 +112,18 @@ class FailureTraceGenerator:
 
 
 def trace_summary(trace: list[int]) -> dict[str, float]:
-    """Summary statistics reported alongside Figure 1."""
+    """Summary statistics reported alongside Figure 1.
+
+    An empty trace summarizes to NaN statistics (and ``days == 0``)
+    instead of crashing on ``max()`` of nothing.
+    """
     arr = np.asarray(trace, dtype=float)
+    stats = summary_stats(arr)
     return {
         "days": float(len(arr)),
-        "mean": float(arr.mean()),
-        "median": float(np.median(arr)),
-        "max": float(arr.max()),
-        "min": float(arr.min()),
+        "mean": stats["mean"],
+        "median": stats["median"],
+        "max": stats["max"],
+        "min": stats["min"],
         "days_over_20": float((arr >= 20).sum()),
     }

@@ -23,7 +23,7 @@ from .blocks import BlockId, Stripe, StoredFile, encode_stripe_payloads
 from .config import ClusterConfig
 from .mapreduce import JobTracker
 from .metrics import MetricsCollector
-from .namenode import NameNode, PlacementError
+from .namenode import NameNode, NameNodeAPI, PlacementError
 from .network import Network
 from .sim import Simulation
 
@@ -43,10 +43,23 @@ class HadoopCluster:
     ErasureCode implementation under unchanged RaidNode/BlockFixer logic.
     """
 
-    def __init__(self, code: ErasureCode, config: ClusterConfig, seed: int = 0):
+    def __init__(
+        self,
+        code: ErasureCode,
+        config: ClusterConfig,
+        seed: int = 0,
+        namenode_cls: type[NameNodeAPI] = NameNode,
+    ):
         config.validate()
         self.code = code
         self.config = config
+        self.seed = seed
+        # Failure processes derive their default randomness from here, so
+        # two experiments with different seeds draw different failure
+        # traces even when no explicit rng is passed down.
+        self.failure_seed = (
+            config.failure_seed if config.failure_seed is not None else seed
+        )
         self.rng = np.random.default_rng(seed)
         self.sim = Simulation()
         self.metrics = MetricsCollector(bucket_width=config.timeseries_bucket)
@@ -58,7 +71,7 @@ class HadoopCluster:
             if config.num_racks > 1
             else None
         )
-        self.namenode = NameNode(node_ids, self.rng, rack_of=rack_of)
+        self.namenode = namenode_cls(node_ids, self.rng, rack_of=rack_of)
         self.network = Network(
             self.sim,
             self.metrics,
@@ -125,14 +138,7 @@ class HadoopCluster:
 
     def _stripe_node_set(self, stripe: Stripe) -> set[str]:
         """Nodes already holding any placed block of the stripe."""
-        used = set()
-        for position in range(stripe.n):
-            if stripe.is_virtual(position):
-                continue
-            node_id = self.namenode.block_locations.get(stripe.block_id(position))
-            if node_id is not None:
-                used.add(node_id)
-        return used
+        return self.namenode.stripe_node_set(stripe)
 
     def _rack_spread_order(self, candidates, stripe: Stripe) -> list:
         """Order candidates so racks the stripe uses least come first.

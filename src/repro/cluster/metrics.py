@@ -8,10 +8,53 @@ collector also keeps 5-minute-bucket time series to regenerate Figure 5.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Iterable
 
-__all__ = ["TimeSeries", "MetricsCollector", "FailureEventRecord"]
+import numpy as np
+
+__all__ = [
+    "TimeSeries",
+    "MetricsCollector",
+    "FailureEventRecord",
+    "percentile",
+    "summary_stats",
+]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """NaN-safe percentile: an empty window yields NaN, never a crash.
+
+    A percentile of nothing is not zero — callers that used to get 0.0
+    for an empty scan interval (e.g. no repairs ran) could not tell
+    "no repairs" from "instant repairs".
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return math.nan
+    return float(np.percentile(arr, q))
+
+
+def summary_stats(values: Iterable[float]) -> dict[str, float]:
+    """Count/mean/median/min/max of a window; NaN stats when empty."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {
+            "count": 0.0,
+            "mean": math.nan,
+            "median": math.nan,
+            "min": math.nan,
+            "max": math.nan,
+        }
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
 
 
 class TimeSeries:
@@ -91,8 +134,10 @@ class FailureEventRecord:
 
     @property
     def blocks_read_per_lost(self) -> float:
+        """Bytes read per lost block; NaN when the event lost nothing
+        (0/0 is not "zero bytes per block")."""
         if self.blocks_lost == 0:
-            return 0.0
+            return math.nan
         return self.hdfs_bytes_read / self.blocks_lost
 
 

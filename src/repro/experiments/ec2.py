@@ -22,8 +22,10 @@ from .runner import SchemeRun, SchemeRunSummary, run_failure_schedule
 
 __all__ = [
     "DEFAULT_PAYLOAD_BYTES",
+    "EC2_DATA_BLOCKS_PER_FILE",
     "EC2_FILE_SIZE",
     "EC2_SCHEME_CODES",
+    "ec2_files_for_blocks",
     "EC2ExperimentResult",
     "EC2ExperimentSummary",
     "run_ec2_experiment",
@@ -37,6 +39,19 @@ __all__ = [
 ]
 
 EC2_FILE_SIZE = 640e6  # one full stripe per file (Section 5.2)
+EC2_DATA_BLOCKS_PER_FILE = 10  # 640 MB / 64 MB: one full stripe of k = 10
+
+
+def ec2_files_for_blocks(blocks: float) -> int:
+    """File count giving ~``blocks`` data blocks (the ``--blocks`` knob).
+
+    The EC2 setup stores exactly one k = 10 stripe per file, so the
+    mapping is exact; the columnar BlockIndex keeps million-block
+    targets practical.
+    """
+    if blocks < 1:
+        raise ValueError("need at least one block")
+    return max(1, round(blocks / EC2_DATA_BLOCKS_PER_FILE))
 
 #: The two systems under comparison, by the name their runs carry.
 EC2_SCHEME_CODES = {"HDFS-RS": rs_10_4, "HDFS-Xorbas": xorbas_lrc}

@@ -24,16 +24,32 @@ from ..cluster import facebook_config
 from .runner import SchemeRun, run_failure_schedule
 
 __all__ = [
+    "FACEBOOK_BLOCKS_PER_FILE",
     "FACEBOOK_NUM_FILES",
     "PAPER_TABLE3",
     "FacebookRow",
     "facebook_file_sizes",
+    "facebook_files_for_blocks",
     "run_facebook_experiment",
 ]
 
 FACEBOOK_NUM_FILES = 3262
 SMALL_FILE_FRACTION = 0.94  # 3-block files; the rest have 10 blocks
 BLOCK = 256e6
+
+#: Expected data blocks per file under the paper's 94%/6% size mix.
+FACEBOOK_BLOCKS_PER_FILE = SMALL_FILE_FRACTION * 3 + (1 - SMALL_FILE_FRACTION) * 10
+
+
+def facebook_files_for_blocks(blocks: float) -> int:
+    """File count whose *expected* data-block total is ~``blocks``.
+
+    The Facebook population samples file sizes, so the mapping is in
+    expectation (exact counts vary with the seed).
+    """
+    if blocks < 1:
+        raise ValueError("need at least one block")
+    return max(1, round(blocks / FACEBOOK_BLOCKS_PER_FILE))
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,9 @@ __all__ = [
 
 #: Bump to invalidate every cached result (e.g. when the simulator's
 #: behaviour changes in a way that alters results for identical configs).
-CACHE_FORMAT_VERSION = 1
+#: v2: exactly-once repair-kind accounting (retried partial write
+#: batches no longer double-count rebuilt blocks).
+CACHE_FORMAT_VERSION = 2
 
 
 def config_hash(config: Mapping[str, Any]) -> str:

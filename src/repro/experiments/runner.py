@@ -28,6 +28,7 @@ __all__ = [
     "SchemeRun",
     "SchemeRunSummary",
     "build_loaded_cluster",
+    "make_schedule_injector",
     "run_failure_schedule",
 ]
 
@@ -113,16 +114,28 @@ def build_loaded_cluster(
     return cluster
 
 
+def make_schedule_injector(cluster: HadoopCluster, seed: int) -> FailureInjector:
+    """The failure injector for a schedule run.
+
+    ``ClusterConfig.failure_seed``, when set, pins the failure
+    randomness regardless of the experiment seed (the injector derives
+    it from the cluster); otherwise the stream follows the schedule
+    seed via the historical ``seed + 99`` derivation, kept verbatim so
+    cached experiment results remain valid.
+    """
+    if cluster.config.failure_seed is not None:
+        return FailureInjector(cluster)
+    return FailureInjector(cluster, rng=np.random.default_rng(seed + 99))
+
+
 def _quiescent(cluster: HadoopCluster, fixer: BlockFixer) -> bool:
-    namenode = cluster.namenode
     # Dead-but-undetected nodes still hold blocks the NameNode will soon
     # declare missing — the failure event is not over until they are
     # detected, repaired (or written off as data loss) and all jobs done.
-    detection_pending = any(
-        namenode.nodes[node_id].blocks for node_id in namenode.undetected_dead
-    )
+    # ``detection_pending`` reads the columnar per-node counters, so this
+    # per-event-loop check stays O(#dead nodes) at any block count.
     jobs_done = all(job.is_finished for job in cluster.jobtracker.jobs)
-    return not detection_pending and fixer.idle and jobs_done
+    return not cluster.namenode.detection_pending() and fixer.idle and jobs_done
 
 
 def run_until_quiescent(
@@ -165,7 +178,7 @@ def run_failure_schedule(
     cluster = build_loaded_cluster(code, config, file_sizes, seed=seed)
     fixer = BlockFixer(cluster)
     fixer.start()
-    injector = FailureInjector(cluster, rng=np.random.default_rng(seed + 99))
+    injector = make_schedule_injector(cluster, seed)
     run = SchemeRun(scheme=scheme, cluster=cluster, fixer=fixer)
     cluster.run(until=warmup)
     for index, nodes_to_kill in enumerate(pattern):

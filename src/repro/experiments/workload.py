@@ -9,6 +9,7 @@ cost difference (5 vs 10 block downloads) is the experiment's point.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,6 +64,9 @@ class WorkloadResult:
 
     @property
     def average_minutes(self) -> float:
+        """Mean job duration; NaN when the scenario ran no jobs."""
+        if not self.job_minutes:
+            return math.nan
         return float(np.mean(self.job_minutes))
 
 

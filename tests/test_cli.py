@@ -44,6 +44,28 @@ class TestParser:
         assert args.stripes == 512
         assert args.payload_bytes == 1024
 
+    def test_blocks_flags(self):
+        args = build_parser().parse_args(["ec2", "--blocks", "1e6"])
+        assert args.blocks == pytest.approx(1e6)
+        assert build_parser().parse_args(["ec2"]).blocks is None
+        args = build_parser().parse_args(["facebook", "--blocks", "5e5"])
+        assert args.blocks == pytest.approx(5e5)
+
+    def test_files_for_blocks_helpers(self):
+        from repro.experiments.ec2 import ec2_files_for_blocks
+        from repro.experiments.facebook import (
+            FACEBOOK_BLOCKS_PER_FILE,
+            facebook_files_for_blocks,
+        )
+
+        assert ec2_files_for_blocks(1e6) == 100_000  # one k=10 stripe/file
+        assert ec2_files_for_blocks(1) == 1
+        assert facebook_files_for_blocks(FACEBOOK_BLOCKS_PER_FILE * 50) == 50
+        with pytest.raises(ValueError):
+            ec2_files_for_blocks(0)
+        with pytest.raises(ValueError):
+            facebook_files_for_blocks(0.5)
+
 
 class TestCommands:
     @pytest.mark.slow  # exhaustive distance certification over all patterns
@@ -68,6 +90,13 @@ class TestCommands:
         assert main(["ec2", "--files", "4", "--nodes", "20"]) == 0
         out = capsys.readouterr().out
         assert "HDFS-RS" in out and "HDFS-Xorbas" in out
+
+    def test_ec2_blocks_knob(self, capsys):
+        # --blocks sizes the run by data blocks: 40 blocks = 4 files.
+        assert main(["ec2", "--blocks", "40", "--nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "running 4 one-stripe files" in out
+        assert "HDFS-Xorbas" in out
 
     def test_codec(self, capsys):
         assert main(["codec", "--stripes", "32", "--payload-bytes", "64"]) == 0

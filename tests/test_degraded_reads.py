@@ -1,5 +1,7 @@
 """Tests for the degraded-read availability simulation."""
 
+import math
+
 import pytest
 
 from repro.cluster.degraded import (
@@ -24,12 +26,14 @@ def comparison():
 
 class TestReadServiceStats:
     def test_empty_stats_are_neutral(self):
+        """Empty windows must be explicit NaN, not a misleading 0.0
+        (a zero mean latency would read as "reads were instant")."""
         stats = ReadServiceStats(scheme="empty")
         assert stats.degraded_fraction == 0.0
         assert stats.availability == 1.0
-        assert stats.mean_latency == 0.0
-        assert stats.mean_degraded_latency == 0.0
-        assert stats.percentile_latency(95) == 0.0
+        assert math.isnan(stats.mean_latency)
+        assert math.isnan(stats.mean_degraded_latency)
+        assert math.isnan(stats.percentile_latency(95))
 
     def test_counters_add_up(self, comparison):
         for stats in comparison.values():

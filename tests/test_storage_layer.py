@@ -1,5 +1,7 @@
 """Tests for blocks, stripes, NameNode placement and liveness."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -203,8 +205,9 @@ class TestMetricsEventScoping:
         record = FailureEventRecord("e", 1, 0.0, blocks_lost=4)
         record.hdfs_bytes_read = 8.0
         assert record.blocks_read_per_lost == pytest.approx(2.0)
+        # 0/0 is explicit NaN, not a misleading "zero bytes per block".
         empty = FailureEventRecord("e", 1, 0.0)
-        assert empty.blocks_read_per_lost == 0.0
+        assert math.isnan(empty.blocks_read_per_lost)
 
     def test_cpu_utilization_series(self):
         metrics = MetricsCollector(bucket_width=10.0)
