@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
             "engine makes KB-scale full-byte verification feasible)"
         ),
     )
+    ec2.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under cProfile and print the top cumulative-time "
+            "functions (forces --jobs 1 and skips the cache so the "
+            "simulation itself is what gets measured)"
+        ),
+    )
 
     codec = sub.add_parser(
         "codec",
@@ -198,6 +207,7 @@ def _cmd_ec2(
     cache_dir: str | None,
     payload_bytes: int | None,
     blocks: float | None = None,
+    profile: bool = False,
 ) -> int:
     from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
     from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES, ec2_files_for_blocks
@@ -207,19 +217,39 @@ def _cmd_ec2(
     if blocks is not None:
         files = ec2_files_for_blocks(blocks)
         print(f"--blocks {blocks:g}: running {files} one-stripe files")
+    if profile:
+        # Workers would take the interesting frames with them, and a
+        # cache hit measures pickle loading: profile one process, fresh.
+        jobs, cache_dir = 1, None
     cache = ResultCache(cache_dir) if cache_dir else None
     print(
         f"Running EC2 experiment: {files} files, {nodes} slaves, "
         f"{payload_bytes}-byte verification payloads ..."
     )
-    result = run_ec2_experiment_parallel(
-        num_files=files,
-        num_nodes=nodes,
-        seed=seed,
-        jobs=jobs,
-        cache=cache,
-        payload_bytes=payload_bytes,
-    )
+
+    def execute():
+        return run_ec2_experiment_parallel(
+            num_files=files,
+            num_nodes=nodes,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            payload_bytes=payload_bytes,
+        )
+
+    if profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(execute)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        print(stream.getvalue())
+    else:
+        result = execute()
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) in {cache.root}")
     rows = []
@@ -498,6 +528,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.cache_dir,
             args.payload_bytes,
             args.blocks,
+            args.profile,
         )
     if args.command == "codec":
         return _cmd_codec(args.stripes, args.payload_bytes, args.seed)

@@ -41,6 +41,8 @@ from .namenode import (
     NameNode,
     PlacementError,
 )
+from .flownet import FlowHandle, FlowTable
+from .hdfs import NETWORK_ENGINES
 from .network import Network, Transfer
 from .raidnode import EncodeStripeTask, RaidNode
 from .scrubber_daemon import ScrubberDaemon
@@ -89,6 +91,9 @@ __all__ = [
     "PlacementError",
     "Network",
     "Transfer",
+    "FlowHandle",
+    "FlowTable",
+    "NETWORK_ENGINES",
     "EncodeStripeTask",
     "RaidNode",
     "ScrubberDaemon",

@@ -49,9 +49,7 @@ class RepairVerificationError(Exception):
 
 def _available_with_virtual(cluster: "HadoopCluster", stripe: Stripe) -> set[int]:
     """Positions usable by a decoder: readable blocks + known-zero padding."""
-    available = set(cluster.namenode.available_positions(stripe))
-    available.update(p for p in range(stripe.n) if stripe.is_virtual(p))
-    return available
+    return cluster.usable_positions(stripe)
 
 
 def _payload_map(stripe: Stripe, positions: set[int]):

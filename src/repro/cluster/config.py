@@ -76,6 +76,16 @@ class ClusterConfig:
     timeseries_bucket: float = 300.0  # Fig 5 uses 5-minute resolution
     cpu_transfer_share: float = 0.25  # CPU load while streaming (vs computing)
 
+    # --- network engine ------------------------------------------------------
+    # Which fabric implementation backs the cluster: "flownet" is the
+    # vectorized struct-of-arrays FlowTable (the default — repair storms
+    # spawn thousands of concurrent flows and the per-flow engine is
+    # O(F^2) in churn), "seed" is the reference per-flow Network kept as
+    # the executable specification.  Flow dynamics (rates, completion
+    # times, event orderings) are bit-for-bit identical between the two;
+    # metric accumulators can differ by float re-association only.
+    network_engine: str = "flownet"
+
     # --- determinism ---------------------------------------------------------
     # Seed for the cluster's failure processes (FailureInjector and
     # friends) when no explicit rng is handed down.  ``None`` derives it
@@ -97,6 +107,11 @@ class ClusterConfig:
             raise ValueError("need at least one rack")
         if self.rack_bandwidth is not None and self.rack_bandwidth <= 0:
             raise ValueError("rack bandwidth must be positive when set")
+        if self.network_engine not in ("flownet", "seed"):
+            raise ValueError(
+                f"unknown network engine {self.network_engine!r} "
+                "(expected 'flownet' or 'seed')"
+            )
         return self
 
     def scaled(self, **overrides) -> "ClusterConfig":

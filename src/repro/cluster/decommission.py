@@ -50,8 +50,7 @@ class RecreateBlockTask(Task):
             for p, node in cluster.namenode.available_positions(stripe).items()
             if node != retiring
         }
-        usable = set(available)
-        usable.update(p for p in range(stripe.n) if stripe.is_virtual(p))
+        usable = cluster.usable_positions(stripe, available)
         decision = stripe.code.planner.plan_block(
             position, usable, readable=available
         )

@@ -21,11 +21,16 @@ import numpy as np
 from ..codes.base import ErasureCode
 from .blocks import BlockId, Stripe, StoredFile, encode_stripe_payloads
 from .config import ClusterConfig
+from .flownet import FlowTable
 from .mapreduce import JobTracker
 from .metrics import MetricsCollector
 from .namenode import NameNode, NameNodeAPI, PlacementError
 from .network import Network
 from .sim import Simulation
+
+#: The fabric implementations ``ClusterConfig.network_engine`` selects
+#: between.  Both expose the same API and bit-identical flow dynamics.
+NETWORK_ENGINES = {"flownet": FlowTable, "seed": Network}
 
 __all__ = ["HadoopCluster", "DataLossError"]
 
@@ -49,6 +54,7 @@ class HadoopCluster:
         config: ClusterConfig,
         seed: int = 0,
         namenode_cls: type[NameNodeAPI] = NameNode,
+        network_cls: type | None = None,
     ):
         config.validate()
         self.code = code
@@ -72,7 +78,9 @@ class HadoopCluster:
             else None
         )
         self.namenode = namenode_cls(node_ids, self.rng, rack_of=rack_of)
-        self.network = Network(
+        if network_cls is None:
+            network_cls = NETWORK_ENGINES[config.network_engine]
+        self.network = network_cls(
             self.sim,
             self.metrics,
             config.node_bandwidth,
@@ -210,6 +218,19 @@ class HadoopCluster:
 
     # ------------------------------------------------------------ task helpers
 
+    def usable_positions(
+        self, stripe: Stripe, readable: dict[int, str] | None = None
+    ) -> set[int]:
+        """Positions a decoder may use: readable blocks plus known-zero
+        (virtual) padding.  ``readable`` defaults to every available
+        position; callers with extra constraints (e.g. decommission
+        excluding the retiring node as a source) pass their own map."""
+        if readable is None:
+            readable = self.namenode.available_positions(stripe)
+        usable = set(readable)
+        usable.update(p for p in range(stripe.n) if stripe.is_virtual(p))
+        return usable
+
     def read_blocks(
         self,
         executor: str,
@@ -258,13 +279,16 @@ class HadoopCluster:
                 on_fail=one_failed,
                 disk_read=True,
             )
-            # Job overhead traffic (DFS client relays, bookkeeping): the
-            # paper's empirical traffic ~= 2x reads (Section 5.2.2).
-            overhead = self.config.traffic_overhead_factor * stripe.block_size
-            if overhead > 0:
-                self.metrics.record_network_out(
-                    executor, overhead, self.sim.now, self.sim.now + 1e-9
-                )
+        # Job overhead traffic (DFS client relays, bookkeeping): the
+        # paper's empirical traffic ~= 2x reads (Section 5.2.2).  One
+        # batched attribution for the whole read set, not one per stream.
+        overhead = (
+            self.config.traffic_overhead_factor * stripe.block_size * len(sources)
+        )
+        if overhead > 0:
+            self.metrics.record_network_out_batch(
+                [(executor, overhead)], overhead, self.sim.now, self.sim.now + 1e-9
+            )
 
     def compute(
         self,

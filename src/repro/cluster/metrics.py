@@ -194,6 +194,43 @@ class MetricsCollector:
         if self._active_event is not None:
             self._active_event.network_out_bytes += nbytes
 
+    # -- batched attribution (one call per network settle) ---------------------
+
+    def record_reads_batch(
+        self,
+        node_totals: Iterable[tuple[str, float]],
+        total: float,
+        start: float,
+        end: float,
+    ) -> None:
+        """Batched :meth:`record_block_read`: per-node byte totals for one
+        shared interval, with the bucketed time series fed once with the
+        aggregate instead of once per flow.  The flow-table network engine
+        settles thousands of concurrent repair flows per churn step;
+        attribution cost must not scale with the flow count."""
+        self.hdfs_bytes_read += total
+        for node_id, nbytes in node_totals:
+            self.disk_read_by_node[node_id] += nbytes
+        self.disk_series.add_interval(start, end, total)
+        if self._active_event is not None:
+            self._active_event.hdfs_bytes_read += total
+
+    def record_network_out_batch(
+        self,
+        node_totals: Iterable[tuple[str, float]],
+        total: float,
+        start: float,
+        end: float,
+    ) -> None:
+        """Batched :meth:`record_network_out` over one shared interval."""
+        self.network_out_bytes += total
+        self.network_in_bytes += total
+        for node_id, nbytes in node_totals:
+            self.network_out_by_node[node_id] += nbytes
+        self.network_series.add_interval(start, end, total)
+        if self._active_event is not None:
+            self._active_event.network_out_bytes += total
+
     def record_write(self, nbytes: float) -> None:
         self.bytes_written += nbytes
 

@@ -11,6 +11,14 @@ completion times are exact.
 Every byte a flow moves is attributed to the metrics collector over the
 exact interval it was in flight, which is what makes the Figure 5 time
 series faithful.
+
+This class is the *executable specification* of the fabric: readable
+per-flow Python whose arithmetic — including the order every float
+accumulation happens in — defines the contract the vectorized
+:class:`~repro.cluster.flownet.FlowTable` engine reproduces bit for
+bit.  Keep the two in lockstep: any semantic change here must be
+mirrored there (the differential tests in ``tests/test_flownet.py``
+enforce it).
 """
 
 from __future__ import annotations
@@ -100,6 +108,11 @@ class Network:
         # between interpreter runs and made simulations irreproducible
         # at the float-accumulation level.
         self.flows: dict[Transfer, None] = {}
+        # Per-node flow index (insertion-ordered, hence start-ordered):
+        # ``abort_node`` reads its victims here instead of scanning every
+        # flow, so killing a whole rack of nodes costs O(flows on the
+        # rack), not O(nodes x all flows).
+        self._flows_by_node: dict[str, dict[Transfer, None]] = {}
 
     def _is_cross_rack(self, flow: Transfer) -> bool:
         if not self.rack_of:
@@ -151,17 +164,20 @@ class Network:
             return flow
         self._settle()
         self.flows[flow] = None
+        self._index_add(flow)
         self._reallocate()
         return flow
 
     def abort_node(self, node_id: str) -> None:
         """Kill every flow touching a node (its NIC is gone)."""
-        victims = [f for f in self.flows if node_id in (f.src, f.dst)]
+        victims = list(self._flows_by_node.get(node_id, ()))
         if not victims:
             return
         self._settle()
         for flow in victims:
-            self.flows.pop(flow, None)
+            if flow.done:
+                continue  # a previous victim's on_fail aborted it reentrantly
+            self._remove(flow)
             if flow.completion_event is not None:
                 flow.completion_event.cancel()
             flow.done = True
@@ -174,6 +190,19 @@ class Network:
         return len(self.flows)
 
     # -- internals ---------------------------------------------------------------
+
+    def _index_add(self, flow: Transfer) -> None:
+        for node_id in {flow.src, flow.dst}:
+            self._flows_by_node.setdefault(node_id, {})[flow] = None
+
+    def _remove(self, flow: Transfer) -> None:
+        self.flows.pop(flow, None)
+        for node_id in {flow.src, flow.dst}:
+            index = self._flows_by_node.get(node_id)
+            if index is not None:
+                index.pop(flow, None)
+                if not index:
+                    del self._flows_by_node[node_id]
 
     def _finish(self, flow: Transfer) -> None:
         """Complete a zero-byte transfer (no bandwidth involved)."""
@@ -246,13 +275,22 @@ class Network:
                 (res for res in members if members[res]),
                 key=lambda res: remaining[res] / len(members[res]),
             )
-            share = remaining[bottleneck] / len(members[bottleneck])
-            for flow in tuple(members[bottleneck]):
+            frozen = tuple(members[bottleneck])
+            share = remaining[bottleneck] / len(frozen)
+            # Capacity freed on each resource is subtracted once per
+            # resource (share x count), not once per flow: the grouped
+            # form is what the vectorized FlowTable engine computes, and
+            # using it here too keeps the two engines' float rounding —
+            # and therefore completion times — bit-for-bit identical.
+            freed: dict[tuple, int] = {}
+            for flow in frozen:
                 rates[flow] = share
                 unfrozen -= 1
                 for resource in flow_resources[flow]:
                     members[resource].pop(flow, None)
-                    remaining[resource] -= share
+                    freed[resource] = freed.get(resource, 0) + 1
+            for resource, count in freed.items():
+                remaining[resource] -= share * count
             members[bottleneck] = {}
         return rates
 
@@ -265,7 +303,7 @@ class Network:
             self._attribute(flow, flow.remaining, flow.last_update, self.sim.now)
             flow.remaining = 0.0
         flow.done = True
-        self.flows.pop(flow, None)
+        self._remove(flow)
         if self.flows:
             self._reallocate()
         flow.on_complete()

@@ -5,6 +5,14 @@ simulator (network transfers, MapReduce heartbeats, daemon scan timers,
 failure injections).  Events are plain callbacks; determinism comes from
 the (time, sequence) ordering — ties break in scheduling order, never by
 object identity — so every experiment is exactly reproducible.
+
+Cancelled events do not linger: the queue counts its dead entries and
+rebuilds itself (dropping them) whenever they outnumber the live ones.
+Components that cancel and reschedule aggressively — the network layer
+re-arms its completion sentinel on every flow churn — therefore keep
+the heap at O(live events) instead of O(all events ever scheduled).
+The rebuild cannot perturb replay: events are strictly totally ordered
+by (time, seq), so a re-heapified queue pops in exactly the same order.
 """
 
 from __future__ import annotations
@@ -15,18 +23,29 @@ from typing import Callable
 
 __all__ = ["Event", "Simulation"]
 
+#: Minimum number of dead events before a rebuild is considered, so tiny
+#: queues are not re-heapified over and over.
+_REBUILD_FLOOR = 64
+
 
 @dataclass(order=True)
 class Event:
-    """A scheduled callback.  Cancelled events stay queued but inert."""
+    """A scheduled callback.  Cancelled events stay queued but inert
+    until the owning :class:`Simulation` garbage-collects them."""
 
     time: float
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
+    sim: "Simulation | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
 
 class Simulation:
@@ -37,6 +56,8 @@ class Simulation:
         self._queue: list[Event] = []
         self._seq = 0
         self._processed = 0
+        self._cancelled_pending = 0
+        self.heap_rebuilds = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -47,7 +68,7 @@ class Simulation:
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time=time, seq=self._seq, callback=callback, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -56,6 +77,7 @@ class Simulation:
         """Time of the next pending event, skipping cancelled ones."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -63,7 +85,9 @@ class Simulation:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            event.executed = True
             self.now = event.time
             self._processed += 1
             event.callback()
@@ -92,6 +116,28 @@ class Simulation:
                     f"simulation exceeded {max_events} events; "
                     "likely a scheduling feedback loop"
                 )
+
+    # -- queue hygiene -----------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= _REBUILD_FLOOR
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Drop dead events and re-heapify; pop order is unchanged."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.heap_rebuilds += 1
+
+    @property
+    def pending_count(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_pending
 
     @property
     def events_processed(self) -> int:

@@ -76,8 +76,7 @@ class WordCountTask(Task):
 
         # Degraded read: reconstruct in memory, then process (Section 1.1).
         self.stats.degraded_reads += 1
-        usable = set(cluster.namenode.available_positions(stripe))
-        usable.update(p for p in range(stripe.n) if stripe.is_virtual(p))
+        usable = cluster.usable_positions(stripe)
         decision = stripe.code.planner.plan_block(
             position, usable, readable=cluster.namenode.available_positions(stripe)
         )

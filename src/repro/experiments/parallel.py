@@ -44,7 +44,10 @@ __all__ = [
 #: behaviour changes in a way that alters results for identical configs).
 #: v2: exactly-once repair-kind accounting (retried partial write
 #: batches no longer double-count rebuilt blocks).
-CACHE_FORMAT_VERSION = 2
+#: v3: flow-table network engine — grouped water-filling subtraction and
+#: batched metric attribution perturb byte accumulators at float
+#: re-association level (flow dynamics are unchanged bit for bit).
+CACHE_FORMAT_VERSION = 3
 
 
 def config_hash(config: Mapping[str, Any]) -> str:

@@ -39,6 +39,10 @@ class TestParser:
         # Default defers to the library's DEFAULT_PAYLOAD_BYTES at dispatch.
         assert build_parser().parse_args(["ec2"]).payload_bytes is None
 
+    def test_ec2_profile_flag(self):
+        assert build_parser().parse_args(["ec2", "--profile"]).profile is True
+        assert build_parser().parse_args(["ec2"]).profile is False
+
     def test_codec_defaults(self):
         args = build_parser().parse_args(["codec"])
         assert args.stripes == 512
@@ -90,6 +94,14 @@ class TestCommands:
         assert main(["ec2", "--files", "4", "--nodes", "20"]) == 0
         out = capsys.readouterr().out
         assert "HDFS-RS" in out and "HDFS-Xorbas" in out
+
+    def test_ec2_profile_prints_hot_functions(self, capsys):
+        assert main(["ec2", "--files", "2", "--nodes", "20", "--profile"]) == 0
+        out = capsys.readouterr().out
+        # pstats cumulative-time report, plus the experiment table.
+        assert "cumulative" in out
+        assert "ncalls" in out
+        assert "HDFS-Xorbas" in out
 
     def test_ec2_blocks_knob(self, capsys):
         # --blocks sizes the run by data blocks: 40 blocks = 4 files.

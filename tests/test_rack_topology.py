@@ -11,6 +11,7 @@ import pytest
 from repro.cluster import (
     BlockFixer,
     FailureInjector,
+    FlowTable,
     HadoopCluster,
     MetricsCollector,
     Network,
@@ -63,41 +64,46 @@ class TestRackPlacement:
         assert cluster.namenode.rack_of == {}
 
 
+@pytest.fixture(params=[Network, FlowTable], ids=["seed", "flownet"])
+def engine(request):
+    return request.param
+
+
 class TestRackNetwork:
-    def make_net(self, rack_bw=None):
+    def make_net(self, engine, rack_bw=None):
         sim = Simulation()
         metrics = MetricsCollector(bucket_width=10.0)
         rack_of = {"a": 0, "b": 0, "c": 1, "d": 1}
-        net = Network(
+        net = engine(
             sim, metrics, node_bandwidth=100.0, core_bandwidth=1000.0,
             rack_of=rack_of, rack_bandwidth=rack_bw,
         )
         return sim, net
 
-    def test_intra_rack_flow_bypasses_core(self):
-        sim, net = self.make_net(rack_bw=10.0)
+    def test_intra_rack_flow_bypasses_core(self, engine):
+        sim, net = self.make_net(engine, rack_bw=10.0)
         done = []
         net.start_transfer("a", "b", 500.0, lambda: done.append(sim.now))
         sim.run()
         # Same rack: NIC-limited (100 B/s), not uplink-limited (10 B/s).
         assert done == [pytest.approx(5.0)]
 
-    def test_cross_rack_flow_limited_by_uplink(self):
-        sim, net = self.make_net(rack_bw=10.0)
+    def test_cross_rack_flow_limited_by_uplink(self, engine):
+        sim, net = self.make_net(engine, rack_bw=10.0)
         done = []
         net.start_transfer("a", "c", 500.0, lambda: done.append(sim.now))
         sim.run()
         assert done == [pytest.approx(50.0)]
 
-    def test_cross_rack_bytes_counted(self):
-        sim, net = self.make_net(rack_bw=50.0)
+    def test_cross_rack_bytes_counted(self, engine):
+        sim, net = self.make_net(engine, rack_bw=50.0)
         net.start_transfer("a", "c", 500.0, lambda: None)
         net.start_transfer("a", "b", 300.0, lambda: None)
         sim.run()
         assert net.cross_rack_bytes == pytest.approx(500.0)
 
-    def test_uplink_shared_between_cross_rack_flows(self):
-        sim, net = self.make_net(rack_bw=10.0)
+    def test_uplink_shared_between_cross_rack_flows(self, engine):
+        sim, net = self.make_net(engine, rack_bw=10.0)
         done = []
         net.start_transfer("a", "c", 100.0, lambda: done.append(sim.now))
         net.start_transfer("b", "d", 100.0, lambda: done.append(sim.now))
@@ -105,11 +111,11 @@ class TestRackNetwork:
         # Both flows leave rack 0 through its 10 B/s uplink: 5 B/s each.
         assert all(t == pytest.approx(20.0) for t in done)
 
-    def test_invalid_rack_bandwidth(self):
+    def test_invalid_rack_bandwidth(self, engine):
         sim = Simulation()
         metrics = MetricsCollector()
         with pytest.raises(ValueError):
-            Network(sim, metrics, 1.0, 1.0, rack_of={"a": 0}, rack_bandwidth=0.0)
+            engine(sim, metrics, 1.0, 1.0, rack_of={"a": 0}, rack_bandwidth=0.0)
 
 
 class TestRackRepairTraffic:

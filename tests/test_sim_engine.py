@@ -113,3 +113,65 @@ class TestRunUntil:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestHeapHygiene:
+    def test_pending_count_tracks_live_events(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_count == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_count == 6
+        events[0].cancel()  # double-cancel must not double-count
+        assert sim.pending_count == 6
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_cancelled_majority_triggers_rebuild(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(400)]
+        for event in events[:300]:
+            event.cancel()
+        assert sim.heap_rebuilds >= 1
+        assert sim.pending_count == 100
+        # The >50%-dead policy keeps the heap within 2x the live events.
+        assert len(sim._queue) <= 2 * sim.pending_count
+
+    def test_rebuild_preserves_firing_order(self):
+        sim = Simulation()
+        fired = []
+        keep = []
+        for i in range(300):
+            event = sim.schedule(float(300 - i), lambda i=i: fired.append(i))
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        assert sim.heap_rebuilds >= 1
+        sim.run()
+        # Scheduled at time 300-i: survivors fire in descending-i order.
+        assert fired == sorted(keep, reverse=True)
+
+    def test_cancel_after_execution_is_inert(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # already executed: must not corrupt the count
+        assert sim.pending_count == 0
+
+    def test_network_churn_keeps_queue_bounded(self):
+        """The reference engine cancels one completion event per flow on
+        every churn step; the queue must stay O(live flows)."""
+        from repro.cluster import MetricsCollector, Network
+
+        sim = Simulation()
+        net = Network(sim, MetricsCollector(), 100.0, 1e6)
+        for i in range(200):
+            net.start_transfer(f"s{i}", f"d{i}", 1e3, lambda: None)
+        # 200 admissions reallocated 200 times, cancelling ~200 events
+        # each: without garbage collection the heap would hold ~20k
+        # entries here.
+        assert len(sim._queue) < 2 * 200 + 64
+        sim.run()
+        assert sim.pending_count == 0
