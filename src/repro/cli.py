@@ -8,18 +8,10 @@ run scaled-down versions of the paper's cluster experiments.
 from __future__ import annotations
 
 import argparse
-import math
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
-
-
-def _fmt(value: float, spec: str = ".1f") -> str:
-    """NaN-safe number formatting: empty-window stats print as n/a."""
-    if isinstance(value, float) and math.isnan(value):
-        return "n/a"
-    return format(value, spec)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +139,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     degraded.add_argument("--hours", type=float, default=6.0)
     degraded.add_argument("--seed", type=int, default=3)
+    degraded.add_argument(
+        "--reads",
+        type=float,
+        default=None,
+        help=(
+            "target total client reads over the horizon (sets the read "
+            "rate; the vectorized engine makes 1e6+ practical)"
+        ),
+    )
+    degraded.add_argument(
+        "--zipf",
+        type=float,
+        default=0.0,
+        help="Zipf exponent for hot/cold stripe popularity (0 = uniform)",
+    )
+    degraded.add_argument(
+        "--diurnal",
+        type=float,
+        default=0.0,
+        help="diurnal read-rate modulation amplitude in [0, 1)",
+    )
+    degraded.add_argument(
+        "--racks",
+        type=int,
+        default=0,
+        help="number of racks with a correlated rack-outage process (0 = off)",
+    )
+    degraded.add_argument(
+        "--engine",
+        choices=("event", "vectorized"),
+        default="vectorized",
+        help=(
+            "event-driven executable spec or the batched read-service "
+            "engine (default)"
+        ),
+    )
 
     tradeoff = sub.add_parser(
         "tradeoff", help="locality/storage/repair frontier (Sections 1.1-2)"
@@ -412,6 +440,7 @@ def _cmd_facebook(files: int, seed: int, blocks: float | None = None) -> int:
 
 def _cmd_workload(seed: int) -> int:
     from .experiments import format_table, run_workload_experiment
+    from .experiments.report import fmt_or_na as _fmt
 
     print("Running the Figure 7 workload experiment (three scenarios) ...")
     results = run_workload_experiment(seed=seed)
@@ -457,15 +486,46 @@ def _cmd_archival(stripe_sizes: list[int], samples: int, seed: int) -> int:
     return 0
 
 
-def _cmd_degraded(hours: float, seed: int) -> int:
+def _cmd_degraded(
+    hours: float,
+    seed: int,
+    reads: float | None = None,
+    zipf: float = 0.0,
+    diurnal: float = 0.0,
+    racks: int = 0,
+    engine: str = "vectorized",
+) -> int:
     from .cluster.degraded import DegradedReadConfig, compare_degraded_reads
     from .codes import rs_10_4, three_replication, xorbas_lrc
     from .experiments import format_table
+    from .experiments.report import fmt_or_na as _fmt
 
-    config = DegradedReadConfig(duration=hours * 3600.0)
+    duration = hours * 3600.0
+    # reads <= 0 flows into read_rate and is rejected by validate().
+    read_rate = (
+        reads / duration if reads is not None else DegradedReadConfig().read_rate
+    )
+    config = DegradedReadConfig(
+        duration=duration,
+        read_rate=read_rate,
+        zipf_exponent=zipf,
+        diurnal_amplitude=diurnal,
+        num_racks=racks,
+    )
     codes = [three_replication(), rs_10_4(), xorbas_lrc()]
-    print(f"Simulating {hours:.0f}h of reads under transient outages ...")
-    rows = compare_degraded_reads(codes, config=config, seed=seed)
+    scenario = []
+    if zipf:
+        scenario.append(f"zipf={zipf:g}")
+    if diurnal:
+        scenario.append(f"diurnal={diurnal:g}")
+    if racks:
+        scenario.append(f"racks={racks}")
+    suffix = f" ({', '.join(scenario)})" if scenario else ""
+    print(
+        f"Simulating {hours:.0f}h of reads under transient outages "
+        f"with the {engine} engine{suffix} ..."
+    )
+    rows = compare_degraded_reads(codes, config=config, seed=seed, engine=engine)
     print(
         format_table(
             ["scheme", "reads", "degraded", "mean degraded s", "availability"],
@@ -473,9 +533,9 @@ def _cmd_degraded(hours: float, seed: int) -> int:
                 (
                     s.scheme,
                     s.total_reads,
-                    f"{s.degraded_fraction:.2%}",
+                    _fmt(s.degraded_fraction, ".2%"),
                     _fmt(s.mean_degraded_latency),
-                    f"{s.availability:.5f}",
+                    _fmt(s.availability, ".5f"),
                 )
                 for s in rows
             ],
@@ -545,7 +605,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "archival":
         return _cmd_archival(args.stripes, args.samples, args.seed)
     if args.command == "degraded":
-        return _cmd_degraded(args.hours, args.seed)
+        return _cmd_degraded(
+            args.hours,
+            args.seed,
+            args.reads,
+            args.zipf,
+            args.diurnal,
+            args.racks,
+            args.engine,
+        )
     if args.command == "tradeoff":
         return _cmd_tradeoff(args.certify)
     if args.command == "export":

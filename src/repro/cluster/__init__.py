@@ -18,6 +18,12 @@ from .degraded import (
     DegradedReadSimulation,
     ReadServiceStats,
     compare_degraded_reads,
+    draw_placement,
+)
+from .readservice import (
+    OutageWindows,
+    ReadSchedule,
+    ReadServiceEngine,
 )
 from .failures import (
     EC2_FAILURE_PATTERN,
@@ -68,6 +74,10 @@ __all__ = [
     "DegradedReadSimulation",
     "ReadServiceStats",
     "compare_degraded_reads",
+    "draw_placement",
+    "OutageWindows",
+    "ReadSchedule",
+    "ReadServiceEngine",
     "EC2_FAILURE_PATTERN",
     "FailureInjector",
     "FailureTraceGenerator",

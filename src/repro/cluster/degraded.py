@@ -18,6 +18,11 @@ the light decoder cannot run — and XOR/solves locally, so its latency
 is the transfer of ``reads`` blocks over the client NIC.  Reads that
 exceed the timeout count as unavailability, which is how the paper's
 availability discussion connects to the Ford et al. [9] metric.
+
+This event-driven implementation is the *executable specification*;
+``repro.cluster.readservice`` is its vectorized twin for million-read
+horizons, held element-identical by differential tests on shared
+:class:`~repro.cluster.readservice.ReadSchedule` objects.
 """
 
 from __future__ import annotations
@@ -36,14 +41,41 @@ __all__ = [
     "ReadServiceStats",
     "DegradedReadSimulation",
     "compare_degraded_reads",
+    "draw_placement",
 ]
 
 MB = 1e6
 
 
+def draw_placement(
+    config: DegradedReadConfig, code: ErasureCode, rng: np.random.Generator
+) -> np.ndarray:
+    """``placement[stripe, position] = node``, all-distinct per stripe.
+
+    Shared by the event-driven spec and the vectorized engine so both
+    see identical layouts for the same placement stream.
+    """
+    placement = np.zeros((config.num_stripes, code.n), dtype=np.int64)
+    for stripe in range(config.num_stripes):
+        placement[stripe] = rng.choice(
+            config.num_nodes, size=code.n, replace=False
+        )
+    return placement
+
+
 @dataclass(frozen=True)
 class DegradedReadConfig:
-    """Tunables of the degraded-read experiment."""
+    """Tunables of the degraded-read experiment.
+
+    The scenario knobs below the timeout widen the workload beyond the
+    stationary/uniform seed model: a Zipf hot/cold stripe popularity
+    skew, a diurnal (24 h sinusoid) modulation of the read rate, and
+    correlated rack-level outages that take a whole rack's nodes down
+    together.  They are schedule-level features — non-default values are
+    drawn by the vectorized :class:`~repro.cluster.readservice.ReadSchedule`
+    generator, which both the event-driven spec and the vectorized
+    engine consume.
+    """
 
     num_nodes: int = 50
     num_stripes: int = 200
@@ -57,6 +89,12 @@ class DegradedReadConfig:
     # the schemes the way Ford et al.'s availability metric would.
     read_timeout: float = 45.0
     duration: float = 6 * 3600.0  # simulated seconds
+    # -- scenario knobs ----------------------------------------------------
+    zipf_exponent: float = 0.0  # 0 = uniform stripe popularity
+    diurnal_amplitude: float = 0.0  # 0 = stationary read rate, < 1
+    num_racks: int = 0  # 0 = no rack-level outage process
+    rack_outage_rate: float = 1.0 / (24 * 3600.0)  # per rack
+    rack_outage_duration_mean: float = 600.0
 
     def validate(self) -> None:
         if self.num_nodes < 2:
@@ -65,8 +103,31 @@ class DegradedReadConfig:
             raise ValueError("need at least one stripe")
         if min(self.block_size, self.node_bandwidth, self.read_rate) <= 0:
             raise ValueError("sizes, bandwidth and rates must be positive")
+        if min(self.outage_rate_per_node, self.outage_duration_mean) <= 0:
+            raise ValueError("outage rate and mean duration must be positive")
+        if self.read_timeout <= 0:
+            raise ValueError("read timeout must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.zipf_exponent < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.num_racks < 0 or self.num_racks > self.num_nodes:
+            raise ValueError("num_racks must be in [0, num_nodes]")
+        if self.num_racks and (
+            min(self.rack_outage_rate, self.rack_outage_duration_mean) <= 0
+        ):
+            raise ValueError("rack outage rate and mean duration must be positive")
+
+    @property
+    def uses_scenarios(self) -> bool:
+        """True when any scenario knob departs from the seed model."""
+        return (
+            self.zipf_exponent > 0
+            or self.diurnal_amplitude > 0
+            or self.num_racks > 0
+        )
 
 
 @dataclass
@@ -83,13 +144,18 @@ class ReadServiceStats:
 
     @property
     def degraded_fraction(self) -> float:
-        return self.degraded_reads / self.total_reads if self.total_reads else 0.0
+        """NaN for an empty window: a fraction of no reads is not 0."""
+        if not self.total_reads:
+            return math.nan
+        return self.degraded_reads / self.total_reads
 
     @property
     def availability(self) -> float:
-        """Fraction of reads served within the timeout."""
+        """Fraction of reads served within the timeout; NaN when no
+        reads arrived (an empty window is not a perfectly available
+        one — the PR 3 empty-window convention)."""
         if not self.total_reads:
-            return 1.0
+            return math.nan
         bad = self.timed_out_reads + self.failed_reads
         return 1.0 - bad / self.total_reads
 
@@ -108,6 +174,35 @@ class ReadServiceStats:
     def percentile_latency(self, q: float) -> float:
         return percentile(self.latencies, q)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        scheme: str,
+        latencies: np.ndarray,
+        degraded: np.ndarray,
+        failed_reads: int,
+        read_timeout: float,
+    ) -> "ReadServiceStats":
+        """Batched accounting: build the stats from served-read arrays.
+
+        ``latencies`` holds every *served* read in arrival order and
+        ``degraded`` marks which of those took the reconstruction path;
+        counters and the timeout census are single vectorized passes.
+        """
+        lat = np.asarray(latencies, dtype=np.float64)
+        deg = np.asarray(degraded, dtype=bool)
+        if lat.shape != deg.shape:
+            raise ValueError("latency and degraded arrays must align")
+        return cls(
+            scheme=scheme,
+            total_reads=int(lat.size) + int(failed_reads),
+            degraded_reads=int(deg.sum()),
+            failed_reads=int(failed_reads),
+            timed_out_reads=int((lat > read_timeout).sum()),
+            latencies=lat.tolist(),
+            degraded_latencies=lat[deg].tolist(),
+        )
+
 
 class DegradedReadSimulation:
     """Event-driven degraded-read experiment for one erasure code.
@@ -122,6 +217,7 @@ class DegradedReadSimulation:
         code: ErasureCode,
         config: DegradedReadConfig | None = None,
         seed: int = 0,
+        schedule: "ReadSchedule | None" = None,
     ):
         self.config = config or DegradedReadConfig()
         self.config.validate()
@@ -144,21 +240,36 @@ class DegradedReadSimulation:
         self.stats = ReadServiceStats(scheme=getattr(code, "name", repr(code)))
         self.node_down_until = np.zeros(self.config.num_nodes)
         # placement[stripe, position] = node hosting that block.
-        self.placement = self._place_stripes()
+        self.placement = draw_placement(self.config, code, self.placement_rng)
+        if schedule is None and self.config.uses_scenarios:
+            # Scenario knobs (Zipf/diurnal/rack outages) are drawn by
+            # the vectorized generator; both engines consume the result.
+            from .readservice import ReadSchedule
 
-    def _place_stripes(self) -> np.ndarray:
-        placement = np.zeros((self.config.num_stripes, self.code.n), dtype=np.int64)
-        for stripe in range(self.config.num_stripes):
-            placement[stripe] = self.placement_rng.choice(
-                self.config.num_nodes, size=self.code.n, replace=False
-            )
-        return placement
+            schedule = ReadSchedule.draw(self.config, code, seed)
+        if schedule is not None:
+            schedule.check(self.config, code)
+        #: The outage windows and read arrivals this run will replay.
+        #: ``None`` until drawn — the seed's legacy interleaved draw
+        #: happens at :meth:`run` time, exactly as the seed consumed it.
+        self.schedule = schedule
 
     # -- event generators ---------------------------------------------------
 
-    def _schedule_outages(self) -> None:
-        """Pre-draw each node's outage windows over the horizon."""
+    def _draw_legacy_schedule(self) -> "ReadSchedule":
+        """The seed's interleaved RNG consumption, captured as arrays.
+
+        Draw order is bit-for-bit the seed implementation's — per node:
+        gap, duration, gap, ... until the horizon; then per read: gap,
+        stripe, position — so seeded results are unchanged, while the
+        drawn schedule becomes inspectable and replayable.
+        """
+        from .readservice import ReadSchedule
+
         cfg = self.config
+        outage_nodes: list[int] = []
+        outage_starts: list[float] = []
+        outage_durations: list[float] = []
         for node in range(cfg.num_nodes):
             t = 0.0
             while True:
@@ -166,18 +277,12 @@ class DegradedReadSimulation:
                 if t >= cfg.duration:
                     break
                 duration = self.outage_rng.exponential(cfg.outage_duration_mean)
-                self.sim.schedule_at(t, self._make_outage(node, duration))
-
-    def _make_outage(self, node: int, duration: float):
-        def begin() -> None:
-            until = self.sim.now + duration
-            if until > self.node_down_until[node]:
-                self.node_down_until[node] = until
-
-        return begin
-
-    def _schedule_reads(self) -> None:
-        cfg = self.config
+                outage_nodes.append(node)
+                outage_starts.append(t)
+                outage_durations.append(duration)
+        read_times: list[float] = []
+        read_stripes: list[int] = []
+        read_positions: list[int] = []
         t = 0.0
         while True:
             t += self.read_rng.exponential(1.0 / cfg.read_rate)
@@ -187,6 +292,41 @@ class DegradedReadSimulation:
             position = (
                 int(self.read_rng.integers(self.code.k)) if self.code.k > 1 else 0
             )
+            read_times.append(t)
+            read_stripes.append(stripe)
+            read_positions.append(position)
+        return ReadSchedule(
+            outage_node=np.asarray(outage_nodes, dtype=np.int64),
+            outage_start=np.asarray(outage_starts, dtype=np.float64),
+            outage_duration=np.asarray(outage_durations, dtype=np.float64),
+            read_time=np.asarray(read_times, dtype=np.float64),
+            read_stripe=np.asarray(read_stripes, dtype=np.int64),
+            read_position=np.asarray(read_positions, dtype=np.int64),
+        )
+
+    def _schedule_outages(self, schedule: "ReadSchedule") -> None:
+        """Queue each node's outage windows over the horizon."""
+        for node, start, duration in zip(
+            schedule.outage_node.tolist(),
+            schedule.outage_start.tolist(),
+            schedule.outage_duration.tolist(),
+        ):
+            self.sim.schedule_at(start, self._make_outage(node, duration))
+
+    def _make_outage(self, node: int, duration: float):
+        def begin() -> None:
+            until = self.sim.now + duration
+            if until > self.node_down_until[node]:
+                self.node_down_until[node] = until
+
+        return begin
+
+    def _schedule_reads(self, schedule: "ReadSchedule") -> None:
+        for t, stripe, position in zip(
+            schedule.read_time.tolist(),
+            schedule.read_stripe.tolist(),
+            schedule.read_position.tolist(),
+        ):
             self.sim.schedule_at(t, self._make_read(stripe, position))
 
     # -- the read path --------------------------------------------------------
@@ -238,8 +378,10 @@ class DegradedReadSimulation:
     # -- driver -----------------------------------------------------------------
 
     def run(self) -> ReadServiceStats:
-        self._schedule_outages()
-        self._schedule_reads()
+        if self.schedule is None:
+            self.schedule = self._draw_legacy_schedule()
+        self._schedule_outages(self.schedule)
+        self._schedule_reads(self.schedule)
         self.sim.run()
         return self.stats
 
@@ -248,14 +390,28 @@ def compare_degraded_reads(
     codes: list[ErasureCode],
     config: DegradedReadConfig | None = None,
     seed: int = 0,
+    engine: str = "event",
 ) -> list[ReadServiceStats]:
     """Run the same outage/read schedule against several schemes.
 
     Identical seeds give identical outage windows and read arrivals, so
     differences between rows are attributable to the codes alone — the
     same controlled-comparison discipline as the paper's paired EC2
-    clusters.
+    clusters.  ``engine`` selects the implementation: ``"event"`` is the
+    seed's event-driven spec, ``"vectorized"`` the batched
+    :class:`~repro.cluster.readservice.ReadServiceEngine` (the one that
+    makes million-read horizons practical).  Both uphold the contract —
+    every code sees the same outage windows and read arrival times.
     """
+    if engine not in ("event", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r} (event or vectorized)")
+    if engine == "vectorized":
+        from .readservice import ReadServiceEngine
+
+        return [
+            ReadServiceEngine(code, config=config, seed=seed).run()
+            for code in codes
+        ]
     return [
         DegradedReadSimulation(code, config=config, seed=seed).run()
         for code in codes

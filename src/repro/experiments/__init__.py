@@ -17,6 +17,12 @@ arguments the text makes in prose: :mod:`repro.experiments.baselines`
 
 from .archival import render_archival, repair_traffic_ratio, run_archival_experiment
 from .claims import Claim, ClaimResult, check_all_claims, paper_claims, render_claims
+from .degraded import (
+    DegradedScenario,
+    degraded_scenarios,
+    render_degraded_scenarios,
+    run_degraded_scenarios,
+)
 from .baselines import BaselineRow, compare_baselines, render_baselines
 from .ec2 import (
     EC2_FILE_SIZE,
@@ -73,6 +79,10 @@ __all__ = [
     "check_all_claims",
     "paper_claims",
     "render_claims",
+    "DegradedScenario",
+    "degraded_scenarios",
+    "render_degraded_scenarios",
+    "run_degraded_scenarios",
     "render_archival",
     "repair_traffic_ratio",
     "run_archival_experiment",

@@ -6,9 +6,22 @@ rows/series the paper reports, in a diff-friendly fixed-width format.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-__all__ = ["format_table", "format_series", "format_bar_chart"]
+__all__ = ["format_table", "format_series", "format_bar_chart", "fmt_or_na"]
+
+
+def fmt_or_na(value: float, spec: str = ".1f") -> str:
+    """NaN-safe number formatting: empty-window stats print as n/a.
+
+    The single source of truth for rendering the PR 3 empty-window NaN
+    convention — the CLI tables and the scenario harness both route
+    through it.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return "n/a"
+    return format(value, spec)
 
 
 def format_table(

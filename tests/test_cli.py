@@ -55,6 +55,27 @@ class TestParser:
         args = build_parser().parse_args(["facebook", "--blocks", "5e5"])
         assert args.blocks == pytest.approx(5e5)
 
+    def test_degraded_flags(self):
+        args = build_parser().parse_args(["degraded"])
+        assert args.reads is None
+        assert args.zipf == 0.0
+        assert args.diurnal == 0.0
+        assert args.racks == 0
+        assert args.engine == "vectorized"
+        args = build_parser().parse_args(
+            [
+                "degraded", "--reads", "1e6", "--zipf", "1.2",
+                "--diurnal", "0.5", "--racks", "5", "--engine", "event",
+            ]
+        )
+        assert args.reads == pytest.approx(1e6)
+        assert args.zipf == pytest.approx(1.2)
+        assert args.diurnal == pytest.approx(0.5)
+        assert args.racks == 5
+        assert args.engine == "event"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["degraded", "--engine", "warp"])
+
     def test_files_for_blocks_helpers(self):
         from repro.experiments.ec2 import ec2_files_for_blocks
         from repro.experiments.facebook import (
@@ -127,3 +148,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "20% missing" in out
+
+    def test_degraded_vectorized_default(self, capsys):
+        assert main(["degraded", "--hours", "0.5", "--reads", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized engine" in out
+        assert "LRC(10,6,5)" in out
+        assert "availability" in out
+
+    def test_degraded_event_engine_and_scenarios(self, capsys):
+        assert (
+            main(
+                [
+                    "degraded", "--hours", "0.5", "--reads", "1500",
+                    "--zipf", "1.2", "--racks", "5", "--engine", "event",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "event engine" in out
+        assert "zipf=1.2" in out and "racks=5" in out
+        assert "RS(10,4)" in out
+
+    def test_degraded_empty_window_prints_na(self, capsys):
+        # 0.001h at ~1 read/h: no arrivals, so the NaN guard must render
+        # n/a instead of a misleading 100% availability.
+        assert main(["degraded", "--hours", "0.001", "--reads", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out

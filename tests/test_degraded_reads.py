@@ -25,15 +25,39 @@ def comparison():
 
 
 class TestReadServiceStats:
-    def test_empty_stats_are_neutral(self):
-        """Empty windows must be explicit NaN, not a misleading 0.0
-        (a zero mean latency would read as "reads were instant")."""
+    def test_empty_stats_are_nan(self):
+        """Empty windows must be explicit NaN across the board: a 0.0
+        degraded fraction would read as "everything healthy" and a 1.0
+        availability as "perfectly available" when nothing was observed
+        (the PR 3 empty-window convention)."""
         stats = ReadServiceStats(scheme="empty")
-        assert stats.degraded_fraction == 0.0
-        assert stats.availability == 1.0
+        assert math.isnan(stats.degraded_fraction)
+        assert math.isnan(stats.availability)
         assert math.isnan(stats.mean_latency)
         assert math.isnan(stats.mean_degraded_latency)
         assert math.isnan(stats.percentile_latency(95))
+
+    def test_from_arrays_batched_accounting(self):
+        import numpy as np
+
+        stats = ReadServiceStats.from_arrays(
+            scheme="batched",
+            latencies=np.array([5.0, 50.0, 26.0, 53.0]),
+            degraded=np.array([False, True, True, True]),
+            failed_reads=2,
+            read_timeout=45.0,
+        )
+        assert stats.total_reads == 6
+        assert stats.degraded_reads == 3
+        assert stats.failed_reads == 2
+        assert stats.timed_out_reads == 2
+        assert stats.latencies == [5.0, 50.0, 26.0, 53.0]
+        assert stats.degraded_latencies == [50.0, 26.0, 53.0]
+        assert stats.availability == pytest.approx(1.0 - 4.0 / 6.0)
+        with pytest.raises(ValueError):
+            ReadServiceStats.from_arrays(
+                "bad", np.zeros(3), np.zeros(2, dtype=bool), 0, 45.0
+            )
 
     def test_counters_add_up(self, comparison):
         for stats in comparison.values():
@@ -53,6 +77,39 @@ class TestConfigValidation:
             DegradedReadConfig(read_rate=0).validate()
         with pytest.raises(ValueError):
             DegradedReadConfig(duration=-1.0).validate()
+
+    def test_rejects_nonpositive_outage_and_timeout_parameters(self):
+        """Regression: outage_rate_per_node=0 used to survive validate()
+        and blow up as ZeroDivisionError deep inside the outage draw."""
+        with pytest.raises(ValueError):
+            DegradedReadConfig(outage_rate_per_node=0.0).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(outage_rate_per_node=-1.0).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(outage_duration_mean=0.0).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(read_timeout=0.0).validate()
+        # The constructor path used to be the crash site.
+        with pytest.raises(ValueError):
+            DegradedReadSimulation(
+                xorbas_lrc(), config=DegradedReadConfig(outage_rate_per_node=0.0)
+            )
+
+    def test_rejects_bad_scenario_knobs(self):
+        with pytest.raises(ValueError):
+            DegradedReadConfig(zipf_exponent=-0.1).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(diurnal_amplitude=1.0).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(num_racks=-1).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(num_nodes=4, num_racks=5).validate()
+        with pytest.raises(ValueError):
+            DegradedReadConfig(num_racks=2, rack_outage_rate=0.0).validate()
+        # Defaults stay scenario-free; single knobs flip the flag.
+        assert not DegradedReadConfig().uses_scenarios
+        assert DegradedReadConfig(zipf_exponent=0.5).uses_scenarios
+        assert DegradedReadConfig(num_racks=2).uses_scenarios
 
     def test_stripe_must_fit_cluster(self):
         small = DegradedReadConfig(num_nodes=10)
@@ -75,6 +132,35 @@ class TestDeterminism:
         assert rs.total_reads == lrc.total_reads
         assert rs.degraded_fraction == pytest.approx(
             lrc.degraded_fraction, abs=0.01
+        )
+
+    def test_seed_streams_independent_of_code_width(self):
+        """Regression for the documented controlled-comparison contract:
+        two simulations with the same seed must present identical outage
+        windows and read arrival times even when their codes have
+        different n (and thus consume a different number of placement
+        draws).  The drawn schedule is now inspectable, so assert it
+        element for element rather than through aggregate fractions."""
+        import numpy as np
+
+        rs = DegradedReadSimulation(rs_10_4(), config=FAST_CONFIG, seed=3)
+        lrc = DegradedReadSimulation(xorbas_lrc(), config=FAST_CONFIG, seed=3)
+        assert rs.code.n != lrc.code.n
+        rs.run()
+        lrc.run()
+        assert np.array_equal(rs.schedule.outage_node, lrc.schedule.outage_node)
+        assert np.array_equal(
+            rs.schedule.outage_start, lrc.schedule.outage_start
+        )
+        assert np.array_equal(
+            rs.schedule.outage_duration, lrc.schedule.outage_duration
+        )
+        assert np.array_equal(rs.schedule.read_time, lrc.schedule.read_time)
+        # Same k -> the interleaved legacy stream also matches stripes
+        # and positions, keeping rows attributable to the codes alone.
+        assert np.array_equal(rs.schedule.read_stripe, lrc.schedule.read_stripe)
+        assert np.array_equal(
+            rs.schedule.read_position, lrc.schedule.read_position
         )
 
 
