@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""CI regression gate: fresh gated speedups vs the committed baseline.
+
+Every spec/engine pair in the difftest registry has a gated benchmark
+that records a ``*_speedup`` metric into BENCH_results.json.  This
+script compares a fresh run against ``benchmarks/bench_baseline.json``
+(the committed reference numbers) and fails if any gated speedup fell
+below ``floor_fraction`` (70%) of its baseline — catching perf
+regressions that still clear the absolute 10x floors.
+
+Usage (as CI runs it, after the bench smoke)::
+
+    python benchmarks/check_bench_regression.py \
+        --results BENCH_results.json \
+        --baseline benchmarks/bench_baseline.json
+
+A markdown delta table goes to ``$GITHUB_STEP_SUMMARY`` when set, and
+always to stdout.  Exit status 1 on any regression or missing metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def compare(
+    metrics: dict, baseline: dict
+) -> tuple[list[dict], bool]:
+    """Rows of the delta table, plus whether every gate held.
+
+    A gated metric missing from the fresh results counts as a failure:
+    a benchmark that silently stopped recording its speedup must not
+    read as green.
+    """
+    floor_fraction = float(baseline.get("floor_fraction", 0.7))
+    rows = []
+    ok = True
+    for name, base_value in sorted(baseline["gated"].items()):
+        fresh = metrics.get(name)
+        if fresh is None:
+            rows.append(
+                {
+                    "name": name,
+                    "baseline": base_value,
+                    "fresh": None,
+                    "ratio": None,
+                    "status": "MISSING",
+                }
+            )
+            ok = False
+            continue
+        ratio = float(fresh) / float(base_value)
+        passed = ratio >= floor_fraction
+        rows.append(
+            {
+                "name": name,
+                "baseline": float(base_value),
+                "fresh": float(fresh),
+                "ratio": ratio,
+                "status": "ok" if passed else "REGRESSED",
+            }
+        )
+        ok = ok and passed
+    return rows, ok
+
+
+def format_table(rows: list[dict], floor_fraction: float) -> str:
+    lines = [
+        "### Gated benchmark speedups vs baseline",
+        "",
+        f"Gate: fresh speedup must stay >= {floor_fraction:.0%} of baseline.",
+        "",
+        "| benchmark | baseline | fresh | delta | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        if row["fresh"] is None:
+            lines.append(
+                f"| {row['name']} | {row['baseline']:.1f}x | — | — "
+                f"| {row['status']} |"
+            )
+        else:
+            delta = (row["ratio"] - 1.0) * 100.0
+            lines.append(
+                f"| {row['name']} | {row['baseline']:.1f}x "
+                f"| {row['fresh']:.1f}x | {delta:+.0f}% | {row['status']} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results", default="BENCH_results.json", type=Path,
+        help="fresh benchmark session output",
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/bench_baseline.json", type=Path,
+        help="committed baseline speedups",
+    )
+    parser.add_argument(
+        "--summary", default=None, type=Path,
+        help="markdown table destination (defaults to $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    results = json.loads(args.results.read_text())
+    rows, ok = compare(results.get("metrics", {}), baseline)
+    table = format_table(rows, float(baseline.get("floor_fraction", 0.7)))
+
+    print(table)
+    summary_path = args.summary or (
+        Path(os.environ["GITHUB_STEP_SUMMARY"])
+        if os.environ.get("GITHUB_STEP_SUMMARY")
+        else None
+    )
+    if summary_path is not None:
+        with open(summary_path, "a") as fh:
+            fh.write(table)
+    if not ok:
+        print("bench regression gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

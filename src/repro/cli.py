@@ -70,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ec2.add_argument(
+        "--engines",
+        choices=["vectorized", "seed"],
+        default="vectorized",
+        help=(
+            "daemon engine selection for the scrubber/decommission/"
+            "fair-scheduler/raidnode seams (seed runs the scalar "
+            "executable specs; both are element-identical by the "
+            "difftest contract)"
+        ),
+    )
+    ec2.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -236,6 +247,7 @@ def _cmd_ec2(
     payload_bytes: int | None,
     blocks: float | None = None,
     profile: bool = False,
+    engines: str = "vectorized",
 ) -> int:
     from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
     from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES, ec2_files_for_blocks
@@ -263,6 +275,7 @@ def _cmd_ec2(
             jobs=jobs,
             cache=cache,
             payload_bytes=payload_bytes,
+            engines=engines,
         )
 
     if profile:
@@ -589,6 +602,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.payload_bytes,
             args.blocks,
             args.profile,
+            args.engines,
         )
     if args.command == "codec":
         return _cmd_codec(args.stripes, args.payload_bytes, args.seed)

@@ -337,6 +337,53 @@ class BlockIndex:
             return []
         return [int(p) for p in np.flatnonzero(self.missing[rows])]
 
+    # -- pattern bitmasks (for the spec/engine planners) ----------------------
+
+    def virtual_bits_of(self, sids: np.ndarray) -> np.ndarray:
+        """Zero-padding bitmask per stripe id (0 for stripes wider than 62)."""
+        return np.asarray(self._virtual_bits, dtype=np.int64)[sids]
+
+    def readable_bits(
+        self, sids: np.ndarray, n: int, exclude_node: int = -1
+    ) -> np.ndarray:
+        """Readable-position bitmasks for a batch of width-``n`` stripes.
+
+        A position is readable when its block is placed on an alive node
+        (optionally excluding ``exclude_node`` — the decommission
+        planner's "never read the retiring node" constraint).
+        """
+        if n > 62:
+            raise ValueError("pattern bitmasks need stripe width <= 62")
+        bases = self.stripe_base[sids]
+        slab = bases[:, None] + np.arange(n, dtype=np.int64)[None, :]
+        nodes = self.node[slab]
+        alive_lookup = np.concatenate((self.node_alive, [False]))
+        readable = alive_lookup[nodes]
+        if exclude_node >= 0:
+            readable &= nodes != exclude_node
+        weights = 1 << np.arange(n, dtype=np.int64)
+        return readable @ weights
+
+    def stripe_readable_bits(self, stripe: Stripe, exclude_node: int = -1) -> int:
+        """One stripe's current readable bitmask (scalar fast path)."""
+        rows = self.stripe_rows(stripe)
+        if rows is None:
+            return 0
+        nodes = self.node[rows]
+        alive_lookup = np.concatenate((self.node_alive, [False]))
+        readable = alive_lookup[nodes]
+        if exclude_node >= 0:
+            readable &= nodes != exclude_node
+        n = rows.stop - rows.start
+        if n > 62:
+            raise ValueError("pattern bitmasks need stripe width <= 62")
+        weights = 1 << np.arange(n, dtype=np.int64)
+        return int(readable @ weights)
+
+    def interned_positions(self, bits: int, n: int) -> frozenset[int]:
+        """The position set a bitmask denotes, interned per distinct mask."""
+        return self._interned_usable(bits, n)
+
     # -- cluster health -------------------------------------------------------
 
     def fsck(self) -> dict[str, int]:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.difftest import validate_engine_choice
+
 __all__ = ["ClusterConfig", "ec2_config", "facebook_config"]
 
 MB = 1e6
@@ -76,15 +78,21 @@ class ClusterConfig:
     timeseries_bucket: float = 300.0  # Fig 5 uses 5-minute resolution
     cpu_transfer_share: float = 0.25  # CPU load while streaming (vs computing)
 
-    # --- network engine ------------------------------------------------------
-    # Which fabric implementation backs the cluster: "flownet" is the
-    # vectorized struct-of-arrays FlowTable (the default — repair storms
-    # spawn thousands of concurrent flows and the per-flow engine is
-    # O(F^2) in churn), "seed" is the reference per-flow Network kept as
-    # the executable specification.  Flow dynamics (rates, completion
-    # times, event orderings) are bit-for-bit identical between the two;
-    # metric accumulators can differ by float re-association only.
+    # --- spec/engine seams ---------------------------------------------------
+    # Which implementation backs each vectorized subsystem.  Every seam
+    # follows the same contract (registered in ``repro.difftest.pairs``):
+    # the scalar seed implementation is kept as the executable
+    # specification, the vectorized engine is the default, and the two
+    # are held element-identical by a differential test on shared
+    # schedules.  "flownet" is the vectorized struct-of-arrays FlowTable
+    # (repair storms spawn thousands of concurrent flows and the
+    # per-flow engine is O(F^2) in churn); "seed" is the reference
+    # per-flow Network.
     network_engine: str = "flownet"
+    scrubber_engine: str = "vectorized"
+    decommission_engine: str = "vectorized"
+    mapreduce_engine: str = "vectorized"
+    raidnode_engine: str = "vectorized"
 
     # --- determinism ---------------------------------------------------------
     # Seed for the cluster's failure processes (FailureInjector and
@@ -107,11 +115,11 @@ class ClusterConfig:
             raise ValueError("need at least one rack")
         if self.rack_bandwidth is not None and self.rack_bandwidth <= 0:
             raise ValueError("rack bandwidth must be positive when set")
-        if self.network_engine not in ("flownet", "seed"):
-            raise ValueError(
-                f"unknown network engine {self.network_engine!r} "
-                "(expected 'flownet' or 'seed')"
-            )
+        validate_engine_choice("network", self.network_engine)
+        validate_engine_choice("scrubber", self.scrubber_engine)
+        validate_engine_choice("decommission", self.decommission_engine)
+        validate_engine_choice("mapreduce", self.mapreduce_engine)
+        validate_engine_choice("raidnode", self.raidnode_engine)
         return self
 
     def scaled(self, **overrides) -> "ClusterConfig":

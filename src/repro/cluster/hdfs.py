@@ -22,6 +22,8 @@ from ..codes.base import ErasureCode
 from .blocks import BlockId, Stripe, StoredFile, encode_stripe_payloads
 from .config import ClusterConfig
 from .flownet import FlowTable
+from repro.difftest import validate_engine_choice
+
 from .mapreduce import JobTracker
 from .metrics import MetricsCollector
 from .namenode import NameNode, NameNodeAPI, PlacementError
@@ -79,7 +81,8 @@ class HadoopCluster:
         )
         self.namenode = namenode_cls(node_ids, self.rng, rack_of=rack_of)
         if network_cls is None:
-            network_cls = NETWORK_ENGINES[config.network_engine]
+            choice = validate_engine_choice("network", config.network_engine)
+            network_cls = NETWORK_ENGINES[choice]
         self.network = network_cls(
             self.sim,
             self.metrics,

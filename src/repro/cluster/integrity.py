@@ -39,6 +39,7 @@ __all__ = [
     "CorruptionInjector",
     "ScrubReport",
     "Scrubber",
+    "heal_stripe",
 ]
 
 
@@ -123,13 +124,72 @@ class ScrubReport:
         return not self.corrupt_blocks
 
 
+def heal_stripe(
+    stripe: Stripe,
+    corrupt: list[int],
+    report: ScrubReport,
+    refresh,
+) -> None:
+    """Heal already-detected corrupt positions of one stripe in place.
+
+    The shared heal loop behind both scrubber implementations (the CRC
+    spec and the snapshot engine): a corrupted block is healed exactly
+    like a lost one (Section 3.1.2) — the light decoder's read set when
+    a plan survives, a heavy decode otherwise — so scrub accounting
+    follows the same 2x RS-vs-LRC economics as the repair benchmarks.
+    ``refresh(stripe, position)`` re-records the caller's integrity
+    state after each rewrite.
+    """
+    report.corrupt_blocks.extend(stripe.block_id(p) for p in corrupt)
+    healthy = {
+        p: stripe.payload[p]
+        for p in stripe.stored_positions()
+        if p not in corrupt
+    }
+    # Virtual zero-padding positions are known-zero and free to use.
+    for p in range(stripe.data_blocks, stripe.code.k):
+        healthy[p] = np.zeros(
+            stripe.payload.shape[1], dtype=stripe.code.field.dtype
+        )
+    for position in corrupt:
+        # The code's RepairPlanner makes the light-vs-heavy call; the
+        # heavy path goes through the engine's cached reconstruction
+        # matrix (byte-identical to decode + re-encode).
+        decision = stripe.code.planner.plan_block(position, healthy.keys())
+        if decision.light:
+            rebuilt = stripe.code.execute_plan(decision.plan, healthy)
+            report.blocks_read_for_heal += len(
+                stripe.read_set(decision.plan.sources)
+            )
+        elif decision.feasible:
+            try:
+                rebuilt = stripe.code.reconstruct((position,), healthy)[0, 0]
+            except DecodingError:
+                report.unhealable_stripes.append(
+                    (stripe.file_name, stripe.index)
+                )
+                return
+            report.blocks_read_for_heal += len(
+                [p for p in healthy if not stripe.is_virtual(p)]
+            )
+        else:
+            report.unhealable_stripes.append(
+                (stripe.file_name, stripe.index)
+            )
+            return
+        stripe.payload[position] = rebuilt
+        healthy[position] = rebuilt
+        refresh(stripe, position)
+        report.healed_blocks.append(stripe.block_id(position))
+
+
 class Scrubber:
     """Scan payload-carrying stripes and heal corrupted blocks in place.
 
-    A corrupted block is healed exactly like a lost one (Section 3.1.2):
-    the light decoder's read set when a plan survives, a heavy decode
-    otherwise — so the scrubber's read accounting follows the same
-    2x RS-vs-LRC economics as the repair benchmarks.
+    The executable spec of the scrubber pair: detection is per-block
+    CRC32 verification against the :class:`ChecksumRegistry` (healing is
+    the shared :func:`heal_stripe` loop).  The vectorized counterpart is
+    :class:`~repro.cluster.scrubengine.ScrubEngine`.
     """
 
     def __init__(self, registry: ChecksumRegistry):
@@ -140,47 +200,7 @@ class Scrubber:
         corrupt = self.registry.scan_stripe(stripe)
         if not corrupt:
             return
-        report.corrupt_blocks.extend(stripe.block_id(p) for p in corrupt)
-        healthy = {
-            p: stripe.payload[p]
-            for p in stripe.stored_positions()
-            if p not in corrupt
-        }
-        # Virtual zero-padding positions are known-zero and free to use.
-        for p in range(stripe.data_blocks, stripe.code.k):
-            healthy[p] = np.zeros(
-                stripe.payload.shape[1], dtype=stripe.code.field.dtype
-            )
-        for position in corrupt:
-            # The code's RepairPlanner makes the light-vs-heavy call; the
-            # heavy path goes through the engine's cached reconstruction
-            # matrix (byte-identical to decode + re-encode).
-            decision = stripe.code.planner.plan_block(position, healthy.keys())
-            if decision.light:
-                rebuilt = stripe.code.execute_plan(decision.plan, healthy)
-                report.blocks_read_for_heal += len(
-                    stripe.read_set(decision.plan.sources)
-                )
-            elif decision.feasible:
-                try:
-                    rebuilt = stripe.code.reconstruct((position,), healthy)[0, 0]
-                except DecodingError:
-                    report.unhealable_stripes.append(
-                        (stripe.file_name, stripe.index)
-                    )
-                    return
-                report.blocks_read_for_heal += len(
-                    [p for p in healthy if not stripe.is_virtual(p)]
-                )
-            else:
-                report.unhealable_stripes.append(
-                    (stripe.file_name, stripe.index)
-                )
-                return
-            stripe.payload[position] = rebuilt
-            healthy[position] = rebuilt
-            self.registry.refresh(stripe, position)
-            report.healed_blocks.append(stripe.block_id(position))
+        heal_stripe(stripe, corrupt, report, self.registry.refresh)
 
     def scrub(self, stripes: list[Stripe]) -> ScrubReport:
         report = ScrubReport()

@@ -16,6 +16,10 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
+from repro.difftest import validate_engine_choice
+
+from .fairscheduler import SCHEDULER_PLANNERS, SchedulerState
+
 if TYPE_CHECKING:
     from .hdfs import HadoopCluster
 
@@ -117,6 +121,9 @@ class JobTracker:
         }
         self.jobs: list[MapReduceJob] = []
         self.heartbeat = config.heartbeat_interval
+        self._planner = SCHEDULER_PLANNERS[
+            validate_engine_choice("mapreduce", config.mapreduce_engine)
+        ]
         self._pass_scheduled = False
 
     # -- submission ---------------------------------------------------------
@@ -163,14 +170,26 @@ class JobTracker:
         self._pass_scheduled = False
         namenode = self.cluster.namenode
         assigned_any = False
-        for node_id, free in sorted(self.slots_free.items()):
-            if free <= 0 or not namenode.nodes[node_id].alive:
-                continue
-            for _ in range(free):
-                candidates = self._schedulable_jobs()
-                if not candidates:
-                    break
-                job = self._pick_job(candidates)
+        # Free slots in deterministic node order (the seed's iteration
+        # order), one entry per node with its free count.
+        slots = [
+            (node_id, free)
+            for node_id, free in sorted(self.slots_free.items())
+            if free > 0 and namenode.nodes[node_id].alive
+        ]
+        candidates = self._schedulable_jobs()
+        if slots and candidates:
+            total_slots = sum(free for _, free in slots)
+            state = SchedulerState.from_jobs(candidates, total_slots)
+            picks = self._planner(state)
+            # Which job wins a slot is node-independent, so the planned
+            # sequence maps one-to-one onto the flattened slot order;
+            # locality still decides which task the job hands the node.
+            nodes_for_slots = (
+                node_id for node_id, free in slots for _ in range(free)
+            )
+            for job_index, node_id in zip(picks, nodes_for_slots):
+                job = candidates[job_index]
                 task = job.take_task(node_id)
                 if task is None:
                     continue

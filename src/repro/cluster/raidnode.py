@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.difftest import validate_engine_choice
+
 from .blocks import Stripe, StoredFile, encode_stripe_payloads
 from .mapreduce import MapReduceJob, Task
+from .raidscan import RaidScanIndex, scan_candidates_seed
 
 if TYPE_CHECKING:
     from .hdfs import HadoopCluster
@@ -85,12 +88,18 @@ class RaidNode:
         cluster: "HadoopCluster",
         interval: float | None = None,
         should_raid: Callable[[StoredFile], bool] | None = None,
+        engine: str | None = None,
     ):
         self.cluster = cluster
         self.interval = (
             interval if interval is not None else cluster.config.raidnode_interval
         )
         self.should_raid = should_raid or (lambda stored: True)
+        self.engine = validate_engine_choice(
+            "raidnode",
+            engine if engine is not None else cluster.config.raidnode_engine,
+        )
+        self.scan_index = RaidScanIndex() if self.engine == "vectorized" else None
         self.in_flight: set[str] = set()
         self._running = False
 
@@ -111,13 +120,14 @@ class RaidNode:
 
     def scan(self) -> MapReduceJob | None:
         """Find un-RAIDed files and dispatch one encode job for them."""
-        candidates = [
-            stored
-            for name, stored in sorted(self.cluster.files.items())
-            if not stored.raided
-            and name not in self.in_flight
-            and self.should_raid(stored)
-        ]
+        if self.scan_index is not None:
+            candidates = self.scan_index.candidates(
+                self.cluster.files, self.in_flight, self.should_raid
+            )
+        else:
+            candidates = scan_candidates_seed(
+                self.cluster.files, self.in_flight, self.should_raid
+            )
         if not candidates:
             return None
         # Batch-encode the candidates' verification payloads up front:
@@ -139,6 +149,8 @@ class RaidNode:
             for stored in candidates:
                 if all(stripe.parities_stored for stripe in stored.stripes):
                     stored.raided = True
+                    if self.scan_index is not None:
+                        self.scan_index.mark_raided(stored.name)
                 self.in_flight.discard(stored.name)
 
         job = MapReduceJob(name="raid-encode", tasks=tasks, on_complete=done)

@@ -48,6 +48,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.difftest import ArraySchedule, require_nonnegative, require_sorted
+
 from ..codes.base import ErasureCode
 from .degraded import (
     DegradedReadConfig,
@@ -121,14 +123,15 @@ def _sample_stripes(
 
 
 @dataclass(frozen=True)
-class ReadSchedule:
+class ReadSchedule(ArraySchedule):
     """One experiment's randomness, frozen as arrays.
 
-    ``outage_*`` rows are per-node transient windows (rack-level events
-    appear expanded, one row per member node); ``read_*`` rows are the
-    client arrivals in time order.  Feeding the same schedule to the
-    event-driven spec and the vectorized engine is what makes their
-    stats element-identical.
+    The original of the :class:`repro.difftest.ArraySchedule` pattern,
+    now an instance of it.  ``outage_*`` rows are per-node transient
+    windows (rack-level events appear expanded, one row per member
+    node); ``read_*`` rows are the client arrivals in time order.
+    Feeding the same schedule to the event-driven spec and the
+    vectorized engine is what makes their stats element-identical.
     """
 
     outage_node: np.ndarray
@@ -153,8 +156,7 @@ class ReadSchedule:
             # contract: the spec replays reads through a (time, seq)
             # heap while the engine keeps array order, so an unsorted
             # schedule would silently produce differently-ordered stats.
-            if np.any(np.diff(self.read_time) < 0):
-                raise ValueError("read arrivals must be in time order")
+            require_sorted(self.read_time, "read arrivals")
             if float(self.read_time[0]) < 0:
                 raise ValueError("read arrivals cannot precede time zero")
             if float(self.read_time[-1]) >= config.duration:
@@ -174,8 +176,7 @@ class ReadSchedule:
                 raise ValueError("outage nodes must be non-negative")
             if int(self.outage_node.max()) >= config.num_nodes:
                 raise ValueError("schedule addresses more nodes than config")
-            if float(self.outage_start.min()) < 0:
-                raise ValueError("outage windows cannot precede time zero")
+            require_nonnegative(self.outage_start, "outage window starts")
 
     @classmethod
     def draw(

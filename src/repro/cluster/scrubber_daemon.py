@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.difftest import validate_engine_choice
+
 from .integrity import ChecksumRegistry, Scrubber, ScrubReport
+from .scrubengine import ScrubEngine
 
 if TYPE_CHECKING:
     from .hdfs import HadoopCluster
@@ -34,15 +37,35 @@ class ScrubberDaemon:
     scan_interval:
         Seconds of simulated time between full scans (production
         scanners take weeks per full pass; experiments shrink this).
+    engine:
+        "seed" (per-block CRC verification, the spec) or "vectorized"
+        (snapshot comparison); defaults to the cluster config's
+        ``scrubber_engine`` seam.  The CRC registry is maintained in
+        both modes — it is the write path's integrity record — but the
+        vectorized scan never touches it.
     """
 
-    def __init__(self, cluster: "HadoopCluster", scan_interval: float = 3600.0):
+    def __init__(
+        self,
+        cluster: "HadoopCluster",
+        scan_interval: float = 3600.0,
+        engine: str | None = None,
+    ):
         if scan_interval <= 0:
             raise ValueError("scan_interval must be positive")
         self.cluster = cluster
         self.scan_interval = scan_interval
+        self.engine = validate_engine_choice(
+            "scrubber",
+            engine if engine is not None else cluster.config.scrubber_engine,
+        )
         self.registry = ChecksumRegistry()
         self._scrubber = Scrubber(self.registry)
+        self._snapshots = (
+            ScrubEngine(on_heal=self.registry.refresh)
+            if self.engine == "vectorized"
+            else None
+        )
         self.reports: list[ScrubReport] = []
         self._started = False
 
@@ -57,6 +80,8 @@ class ScrubberDaemon:
         recorded = 0
         for stripe in self._stripes():
             recorded += self.registry.record_stripe(stripe)
+            if self._snapshots is not None:
+                self._snapshots.record_stripe(stripe)
         return recorded
 
     def _stripes(self):
@@ -80,7 +105,8 @@ class ScrubberDaemon:
 
     def scan_once(self) -> ScrubReport:
         """One full pass over all stripes, healing as it goes."""
-        report = self._scrubber.scrub(list(self._stripes()))
+        scanner = self._snapshots if self._snapshots is not None else self._scrubber
+        report = scanner.scrub(list(self._stripes()))
         if report.blocks_read_for_heal:
             self._charge_reads(report)
         return report

@@ -367,10 +367,19 @@ class RepairPlanner:
     ) -> RepairDecision:
         """Plan the repair of one block given the surviving pattern."""
         lost = int(lost)
-        usable_set = frozenset(int(p) for p in usable) - {lost}
-        readable_set = (
-            frozenset(int(p) for p in readable) if readable is not None else usable_set
-        )
+        # Interned-pattern fast path: callers that hold pre-built
+        # frozensets of ints (the columnar planners intern one set per
+        # distinct bitmask) skip the per-call rebuild.
+        if isinstance(usable, frozenset):
+            usable_set = usable - {lost} if lost in usable else usable
+        else:
+            usable_set = frozenset(int(p) for p in usable) - {lost}
+        if readable is None:
+            readable_set = usable_set
+        elif isinstance(readable, frozenset):
+            readable_set = readable
+        else:
+            readable_set = frozenset(int(p) for p in readable)
         key = ("block", lost, usable_set, readable_set)
         return self.cache.lookup(
             key, lambda: self._decide_block(lost, usable_set, readable_set)

@@ -1,0 +1,105 @@
+"""The bench gate: time spec vs engine, verify, assert a speedup floor.
+
+Each gated benchmark runs both implementations on the same workload,
+checks their outputs still agree (a fast benchmark that computes the
+wrong answer is worse than a slow one), records machine-readable
+metrics (``{name}_spec_seconds``, ``{name}_engine_seconds``,
+``{name}_speedup``) and only then asserts the floor — so a failing
+gate still leaves a complete BENCH_results.json for the CI regression
+table to explain *how far* it missed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["BenchRecord", "gate_speedup", "timed"]
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once under ``perf_counter``; return (result, seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One spec-vs-engine timing, as appended to BENCH_results.json."""
+
+    name: str
+    spec_seconds: float
+    engine_seconds: float
+    floor: float
+
+    @property
+    def speedup(self) -> float:
+        return self.spec_seconds / max(self.engine_seconds, 1e-12)
+
+    @property
+    def passed(self) -> bool:
+        return self.speedup >= self.floor
+
+    def metrics(self) -> dict[str, float]:
+        return {
+            f"{self.name}_spec_seconds": round(self.spec_seconds, 4),
+            f"{self.name}_engine_seconds": round(self.engine_seconds, 4),
+            f"{self.name}_speedup": round(self.speedup, 2),
+        }
+
+
+def gate_speedup(
+    name: str,
+    spec_fn: Callable[[], Any],
+    engine_fn: Callable[[], Any],
+    *,
+    floor: float = 10.0,
+    repeat: int = 1,
+    compare: Callable[[Any, Any], None] | None = None,
+    metrics: Callable[[str, float], None] | None = None,
+    report: Callable[[str], None] | None = None,
+) -> BenchRecord:
+    """Time both implementations, verify agreement, gate the speedup.
+
+    The engine runs first (it warms shared caches the spec also
+    benefits from, keeping the measured ratio conservative), then the
+    spec.  With ``repeat > 1`` each side runs that many times and the
+    *minimum* duration counts — best-of-N is the standard defence
+    against GC pauses and noisy-neighbour scheduling jitter, either of
+    which could otherwise flip a gate on a shared CI runner.  The first
+    run's results feed ``compare(spec_result, engine_result)``, which
+    runs before any timing assertion; ``metrics`` receives each record
+    entry (wire it to the benchmark session's ``record_metric``);
+    ``report`` gets a one-line human summary.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    engine_result, engine_seconds = timed(engine_fn)
+    for _ in range(repeat - 1):
+        engine_seconds = min(engine_seconds, timed(engine_fn)[1])
+    spec_result, spec_seconds = timed(spec_fn)
+    for _ in range(repeat - 1):
+        spec_seconds = min(spec_seconds, timed(spec_fn)[1])
+    if compare is not None:
+        compare(spec_result, engine_result)
+    record = BenchRecord(
+        name=name,
+        spec_seconds=spec_seconds,
+        engine_seconds=engine_seconds,
+        floor=floor,
+    )
+    if metrics is not None:
+        for key, value in record.metrics().items():
+            metrics(key, value)
+    if report is not None:
+        report(
+            f"{name}: spec {spec_seconds:.3f}s, engine {engine_seconds:.3f}s "
+            f"-> {record.speedup:.1f}x (floor {floor:.0f}x)"
+        )
+    assert record.passed, (
+        f"{name}: engine speedup {record.speedup:.2f}x fell below the "
+        f"{floor:.0f}x gate (spec {spec_seconds:.3f}s, engine {engine_seconds:.3f}s)"
+    )
+    return record

@@ -1,0 +1,122 @@
+"""Element-identical assertion helpers for spec/engine comparison.
+
+The differential contract established in PRs 4/5: on a shared schedule
+the engine must reproduce the spec *exactly* — integer counters equal,
+float lists bit-identical (the engines reorder no arithmetic), NaN
+where the spec has NaN.  These helpers centralize the idioms that
+``tests/test_flownet.py`` and ``tests/test_readservice.py`` each grew
+by hand, and they fail with :class:`DifferentialMismatch` so a harness
+failure is distinguishable from an ordinary test bug.
+
+Aggregated statistics (means, percentiles) get a separate NaN-aware
+``rtol`` comparison: reductions over large arrays may legally associate
+differently between a Python ``sum`` loop and ``np.sum``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DifferentialMismatch",
+    "assert_bit_identical",
+    "assert_element_identical",
+    "assert_exact_counts",
+    "assert_stats_close",
+]
+
+
+class DifferentialMismatch(AssertionError):
+    """An engine diverged from its executable spec on a shared schedule."""
+
+
+def _get(obj: Any, name: str) -> Any:
+    """Attribute or mapping lookup, so helpers take dataclasses or dicts."""
+    if isinstance(obj, dict):
+        try:
+            return obj[name]
+        except KeyError:
+            raise DifferentialMismatch(f"missing field {name!r} in {obj!r}") from None
+    try:
+        return getattr(obj, name)
+    except AttributeError:
+        raise DifferentialMismatch(f"missing field {name!r} on {obj!r}") from None
+
+
+def assert_exact_counts(spec: Any, engine: Any, fields: Iterable[str]) -> None:
+    """Integer-exact equality of named counter fields."""
+    for name in fields:
+        want, got = _get(spec, name), _get(engine, name)
+        if want != got:
+            raise DifferentialMismatch(
+                f"count {name!r} diverged: spec={want!r} engine={got!r}"
+            )
+
+
+def assert_bit_identical(
+    spec: Sequence[float] | np.ndarray,
+    engine: Sequence[float] | np.ndarray,
+    what: str = "values",
+) -> None:
+    """Element-wise bit-identical floats, treating NaN as equal to NaN.
+
+    Order matters: the engines preserve the spec's emission order, so a
+    permutation is a divergence too.
+    """
+    a = np.asarray(spec, dtype=np.float64)
+    b = np.asarray(engine, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DifferentialMismatch(
+            f"{what}: spec has shape {a.shape}, engine {b.shape}"
+        )
+    if a.size == 0:
+        return
+    same = (a == b) | (np.isnan(a) & np.isnan(b))
+    if not np.all(same):
+        bad = np.flatnonzero(~same.reshape(-1))
+        i = int(bad[0])
+        raise DifferentialMismatch(
+            f"{what}: {bad.size}/{a.size} elements diverge, first at index "
+            f"{i}: spec={a.reshape(-1)[i]!r} engine={b.reshape(-1)[i]!r}"
+        )
+
+
+def assert_stats_close(
+    spec: Any,
+    engine: Any,
+    fields: Iterable[str],
+    rtol: float = 1e-9,
+) -> None:
+    """NaN-aware relative-tolerance equality of aggregate statistics."""
+    for name in fields:
+        want = float(_get(spec, name))
+        got = float(_get(engine, name))
+        if np.isnan(want) and np.isnan(got):
+            continue
+        if not np.isclose(want, got, rtol=rtol, atol=0.0, equal_nan=False):
+            raise DifferentialMismatch(
+                f"stat {name!r} diverged beyond rtol={rtol}: "
+                f"spec={want!r} engine={got!r}"
+            )
+
+
+def assert_element_identical(
+    spec: Any,
+    engine: Any,
+    *,
+    counts: Iterable[str] = (),
+    lists: Iterable[str] = (),
+    stats: Iterable[str] = (),
+    rtol: float = 1e-9,
+) -> None:
+    """The full differential contract in one call.
+
+    ``counts`` are integer-exact fields, ``lists`` are bit-identical
+    float sequences, ``stats`` are NaN-aware rtol aggregates.
+    """
+    assert_exact_counts(spec, engine, counts)
+    for name in lists:
+        assert_bit_identical(_get(spec, name), _get(engine, name), what=name)
+    assert_stats_close(spec, engine, stats, rtol=rtol)

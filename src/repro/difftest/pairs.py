@@ -1,0 +1,97 @@
+"""The nine spec/engine pairs, declared in one place.
+
+Importing :mod:`repro.difftest` registers every pair, so
+:func:`~repro.difftest.registry.engine_matrix` is the single source of
+truth for the README engine-matrix table, the ``ClusterConfig`` seam
+validation, and the CI bench-regression baseline's gated-metric list.
+
+Registrations here are metadata only (dotted names, choice vocabulary,
+config seam, CI gate); the subsystem modules keep their own dispatch
+(``NETWORK_ENGINES`` in hdfs, ``method=`` in montecarlo, ...), which
+avoids import cycles between the harness and the code under test.
+"""
+
+from __future__ import annotations
+
+from .registry import register_engine_pair
+
+register_engine_pair(
+    "montecarlo",
+    spec="repro.reliability.montecarlo.simulate_time_to_absorption",
+    engine="repro.reliability.montecarlo.simulate_times_to_absorption",
+    implementations={"loop": None, "batched": None},
+    aliases={"seed": "loop", "vectorized": "batched"},
+    default="batched",
+    config_field=None,  # per-call: estimate_mttdl(method=...)
+    gate="montecarlo_batched_speedup",
+)
+
+register_engine_pair(
+    "codec",
+    spec="repro.codes.base",
+    engine="repro.codes.engine",
+    config_field=None,  # per-call: scalar decode vs code.engine
+    gate="codec_engine_speedup",
+)
+
+register_engine_pair(
+    "blockindex",
+    spec="repro.cluster.namenode.DictNameNode",
+    engine="repro.cluster.namenode.NameNode",
+    config_field=None,  # constructor: HadoopCluster(namenode_cls=...)
+    gate="blockindex_speedup",
+)
+
+register_engine_pair(
+    "network",
+    spec="repro.cluster.network.Network",
+    engine="repro.cluster.flownet.FlowTable",
+    implementations={"flownet": None, "seed": None},
+    aliases={"vectorized": "flownet"},
+    default="flownet",
+    config_field="network_engine",
+    gate="network_speedup",
+)
+
+register_engine_pair(
+    "readservice",
+    spec="repro.cluster.degraded.DegradedReadSimulation",
+    engine="repro.cluster.readservice.ReadServiceEngine",
+    implementations={"event": None, "vectorized": None},
+    aliases={"seed": "event"},
+    default="vectorized",
+    config_field=None,  # per-call: compare_degraded_reads(engine=...)
+    gate="readservice_speedup",
+)
+
+register_engine_pair(
+    "scrubber",
+    spec="repro.cluster.integrity.Scrubber",
+    engine="repro.cluster.scrubengine.ScrubEngine",
+    config_field="scrubber_engine",
+    gate="scrubber_speedup",
+)
+
+register_engine_pair(
+    "decommission",
+    spec="repro.cluster.decommission.plan_recreates_seed",
+    engine="repro.cluster.decommission.plan_recreates_vectorized",
+    config_field="decommission_engine",
+    gate="decommission_speedup",
+)
+
+register_engine_pair(
+    "mapreduce",
+    spec="repro.cluster.fairscheduler.plan_pass_seed",
+    engine="repro.cluster.fairscheduler.plan_pass_vectorized",
+    config_field="mapreduce_engine",
+    gate="fairscheduler_speedup",
+)
+
+register_engine_pair(
+    "raidnode",
+    spec="repro.cluster.raidscan.scan_candidates_seed",
+    engine="repro.cluster.raidscan.RaidScanIndex",
+    config_field="raidnode_engine",
+    gate="raidnode_speedup",
+)

@@ -1,0 +1,22 @@
+"""Shared test configuration.
+
+Registers a ``ci`` hypothesis profile (no deadline, derandomized) so
+property tests cannot flake on shared-runner timing jitter; CI selects
+it by exporting ``HYPOTHESIS_PROFILE=ci``.  Local runs keep hypothesis
+defaults unless the variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is optional outside the property tests
+    settings = None
+
+if settings is not None:
+    settings.register_profile("ci", deadline=None, derandomize=True)
+    profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if profile:
+        settings.load_profile(profile)

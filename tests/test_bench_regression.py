@@ -1,0 +1,81 @@
+"""Unit tests for benchmarks/check_bench_regression.py (the CI gate)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_bench_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+BASELINE = {
+    "schema": 1,
+    "floor_fraction": 0.7,
+    "gated": {"alpha_speedup": 10.0, "beta_speedup": 100.0},
+}
+
+
+class TestCompare:
+    def test_all_green(self):
+        rows, ok = gate.compare(
+            {"alpha_speedup": 11.0, "beta_speedup": 80.0}, BASELINE
+        )
+        assert ok
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+
+    def test_regression_below_floor_fraction(self):
+        rows, ok = gate.compare(
+            {"alpha_speedup": 6.9, "beta_speedup": 100.0}, BASELINE
+        )
+        assert not ok
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["alpha_speedup"]["status"] == "REGRESSED"
+        assert by_name["beta_speedup"]["status"] == "ok"
+
+    def test_exactly_at_floor_passes(self):
+        _, ok = gate.compare(
+            {"alpha_speedup": 7.0, "beta_speedup": 70.0}, BASELINE
+        )
+        assert ok
+
+    def test_missing_metric_fails(self):
+        rows, ok = gate.compare({"alpha_speedup": 12.0}, BASELINE)
+        assert not ok
+        assert rows[1]["name"] == "beta_speedup"
+        assert rows[1]["status"] == "MISSING"
+
+
+class TestTableAndMain:
+    def test_table_shape(self):
+        rows, _ = gate.compare({"alpha_speedup": 14.0}, BASELINE)
+        table = gate.format_table(rows, 0.7)
+        assert "| alpha_speedup | 10.0x | 14.0x | +40% | ok |" in table
+        assert "| beta_speedup | 100.0x | — | — | MISSING |" in table
+
+    @pytest.mark.parametrize(
+        "fresh, expected_exit",
+        [({"alpha_speedup": 9.0, "beta_speedup": 90.0}, 0),
+         ({"alpha_speedup": 1.0, "beta_speedup": 90.0}, 1)],
+    )
+    def test_main_exit_codes_and_summary(self, tmp_path, fresh, expected_exit):
+        baseline_path = tmp_path / "baseline.json"
+        results_path = tmp_path / "results.json"
+        summary_path = tmp_path / "summary.md"
+        baseline_path.write_text(json.dumps(BASELINE))
+        results_path.write_text(json.dumps({"metrics": fresh}))
+        exit_code = gate.main(
+            [
+                "--results", str(results_path),
+                "--baseline", str(baseline_path),
+                "--summary", str(summary_path),
+            ]
+        )
+        assert exit_code == expected_exit
+        assert "Gated benchmark speedups" in summary_path.read_text()

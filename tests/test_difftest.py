@@ -1,0 +1,238 @@
+"""Self-tests for the differential harness (repro.difftest).
+
+The harness is only useful if it fails loudly when spec and engine
+diverge, so most of these tests feed it deliberately perturbed
+"engines" — an off-by-one counter, a jittered float, a NaN where the
+spec has 0 — and assert the mismatch is caught.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.difftest import (
+    ArraySchedule,
+    BenchRecord,
+    DifferentialMismatch,
+    Schedule,
+    assert_bit_identical,
+    assert_element_identical,
+    assert_exact_counts,
+    assert_stats_close,
+    engine_matrix,
+    engine_pair,
+    gate_speedup,
+    require_nonnegative,
+    require_sorted,
+    require_within,
+    spawn_streams,
+    timed,
+    validate_engine_choice,
+)
+from repro.difftest.registry import register_engine_pair
+
+
+class TestCompareHelpers:
+    def test_exact_counts_pass_and_catch_off_by_one(self):
+        spec = {"total": 100, "failed": 3}
+        assert_exact_counts(spec, {"total": 100, "failed": 3}, ["total", "failed"])
+        with pytest.raises(DifferentialMismatch, match="failed"):
+            assert_exact_counts(spec, {"total": 100, "failed": 4}, ["total", "failed"])
+
+    def test_exact_counts_missing_field(self):
+        with pytest.raises(DifferentialMismatch, match="missing field"):
+            assert_exact_counts({"total": 1}, {}, ["total"])
+
+    def test_bit_identical_catches_float_jitter(self):
+        spec = np.array([0.1, 0.2, 0.3])
+        assert_bit_identical(spec, spec.copy())
+        jittered = spec.copy()
+        jittered[1] += 1e-16  # sub-rtol jitter: still a divergence
+        with pytest.raises(DifferentialMismatch, match="index 1"):
+            assert_bit_identical(spec, jittered, what="latencies")
+
+    def test_bit_identical_nan_equals_nan_but_not_zero(self):
+        spec = np.array([1.0, np.nan, 3.0])
+        assert_bit_identical(spec, np.array([1.0, np.nan, 3.0]))
+        with pytest.raises(DifferentialMismatch):
+            assert_bit_identical(spec, np.array([1.0, 0.0, 3.0]))
+
+    def test_bit_identical_shape_and_order(self):
+        with pytest.raises(DifferentialMismatch, match="shape"):
+            assert_bit_identical([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(DifferentialMismatch):
+            assert_bit_identical([1.0, 2.0], [2.0, 1.0])  # permutation diverges
+
+    def test_stats_close_nan_aware(self):
+        spec = {"mean": 2.0, "p99": float("nan")}
+        assert_stats_close(spec, {"mean": 2.0 * (1 + 1e-12), "p99": float("nan")},
+                           ["mean", "p99"])
+        with pytest.raises(DifferentialMismatch, match="p99"):
+            assert_stats_close(spec, {"mean": 2.0, "p99": 0.0}, ["mean", "p99"])
+        with pytest.raises(DifferentialMismatch, match="mean"):
+            assert_stats_close(spec, {"mean": 2.1, "p99": float("nan")},
+                               ["mean", "p99"])
+
+    def test_element_identical_combined_contract(self):
+        class Stats:
+            total = 5
+            latencies = [1.0, 2.0]
+            mean = 1.5
+
+        spec, engine = Stats(), Stats()
+        assert_element_identical(
+            spec, engine, counts=["total"], lists=["latencies"], stats=["mean"]
+        )
+        engine.total = 6
+        with pytest.raises(DifferentialMismatch):
+            assert_element_identical(spec, engine, counts=["total"])
+
+
+class TestScheduleProtocol:
+    def test_array_schedule_arrays_and_equality(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Sched(ArraySchedule):
+            a: np.ndarray
+            b: np.ndarray
+            tag: int
+
+        s1 = Sched(np.arange(3), np.ones(2), tag=7)
+        assert set(s1.arrays()) == {"a", "b"}
+        assert s1.total_rows == 5
+        assert isinstance(s1, Schedule)
+        assert s1.same_as(Sched(np.arange(3), np.ones(2), tag=9))
+        assert not s1.same_as(Sched(np.arange(3), np.zeros(2), tag=7))
+
+    def test_require_helpers(self):
+        require_sorted(np.array([0.0, 1.0, 1.0, 2.0]))
+        with pytest.raises(ValueError, match="time order"):
+            require_sorted(np.array([1.0, 0.5]), "read arrivals")
+        require_nonnegative(np.array([0.0, 3.0]), "starts")
+        with pytest.raises(ValueError, match="non-negative"):
+            require_nonnegative(np.array([-1.0]), "starts")
+        require_within(np.array([0, 4]), 5, "indices")
+        with pytest.raises(ValueError, match="below"):
+            require_within(np.array([5]), 5, "indices")
+
+    def test_spawn_streams_stable_and_independent(self):
+        a = spawn_streams(42, 3)
+        b = spawn_streams(42, 3)
+        assert len(a) == 3
+        for sa, sb in zip(a, b):
+            ra = np.random.default_rng(sa).random(4)
+            rb = np.random.default_rng(sb).random(4)
+            np.testing.assert_array_equal(ra, rb)
+        # Distinct children draw distinct streams.
+        r0 = np.random.default_rng(a[0]).random(4)
+        r1 = np.random.default_rng(a[1]).random(4)
+        assert not np.array_equal(r0, r1)
+
+
+class TestRegistry:
+    def test_all_nine_pairs_registered(self):
+        subsystems = {pair.subsystem for pair in engine_matrix()}
+        assert subsystems == {
+            "montecarlo",
+            "codec",
+            "blockindex",
+            "network",
+            "readservice",
+            "scrubber",
+            "decommission",
+            "mapreduce",
+            "raidnode",
+        }
+        for pair in engine_matrix():
+            assert pair.spec != pair.engine
+            assert pair.gate is not None
+            assert pair.canonical(pair.default) in pair.implementations
+
+    def test_validate_canonicalizes_aliases(self):
+        assert validate_engine_choice("network", "vectorized") == "flownet"
+        assert validate_engine_choice("network", "seed") == "seed"
+        assert validate_engine_choice("readservice", "seed") == "event"
+        assert validate_engine_choice("montecarlo", "vectorized") == "batched"
+        with pytest.raises(ValueError, match="unknown scrubber engine"):
+            validate_engine_choice("scrubber", "bogus")
+
+    def test_unregistered_subsystem_uniform_vocabulary(self):
+        assert validate_engine_choice("not-registered", "seed") == "seed"
+        with pytest.raises(ValueError, match="unknown not-registered engine"):
+            validate_engine_choice("not-registered", "flownet")
+
+    def test_engine_pair_lookup_errors(self):
+        assert engine_pair("scrubber").config_field == "scrubber_engine"
+        with pytest.raises(KeyError, match="no spec/engine pair"):
+            engine_pair("nonexistent")
+
+    def test_register_rejects_bad_default(self):
+        with pytest.raises(ValueError, match="default"):
+            register_engine_pair(
+                "temp-bad", spec="a", engine="b", default="nonsense"
+            )
+
+
+class TestBenchGate:
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_bench_record_metrics_shape(self):
+        record = BenchRecord(
+            name="demo", spec_seconds=2.0, engine_seconds=0.1, floor=10.0
+        )
+        assert record.speedup == pytest.approx(20.0)
+        assert record.passed
+        assert set(record.metrics()) == {
+            "demo_spec_seconds",
+            "demo_engine_seconds",
+            "demo_speedup",
+        }
+
+    def test_gate_passes_and_records(self):
+        metrics: dict[str, float] = {}
+        lines: list[str] = []
+        record = gate_speedup(
+            "gate_demo",
+            spec_fn=lambda: time.sleep(0.05) or 7,
+            engine_fn=lambda: 7,
+            floor=2.0,
+            compare=lambda spec, engine: assert_exact_counts(
+                {"v": spec}, {"v": engine}, ["v"]
+            ),
+            metrics=metrics.__setitem__,
+            report=lines.append,
+        )
+        assert record.passed
+        assert metrics["gate_demo_speedup"] >= 2.0
+        assert "gate_demo" in lines[0]
+
+    def test_gate_fails_below_floor_after_recording(self):
+        metrics: dict[str, float] = {}
+        with pytest.raises(AssertionError, match="fell below"):
+            gate_speedup(
+                "gate_slow",
+                spec_fn=lambda: None,
+                engine_fn=lambda: time.sleep(0.05),
+                floor=10.0,
+                metrics=metrics.__setitem__,
+            )
+        # The metrics landed even though the gate failed, so the CI
+        # regression table can explain how far the miss was.
+        assert "gate_slow_speedup" in metrics
+
+    def test_gate_runs_compare_before_floor(self):
+        with pytest.raises(DifferentialMismatch):
+            gate_speedup(
+                "gate_wrong",
+                spec_fn=lambda: 1,
+                engine_fn=lambda: 2,
+                floor=0.0,
+                compare=lambda s, e: assert_exact_counts(
+                    {"v": s}, {"v": e}, ["v"]
+                ),
+            )
