@@ -8,18 +8,24 @@ surviving flow on every start/finish/abort, making event cascades
 O(F^2)-O(F^2 log F); at five thousand concurrent flows it is the
 slowest layer of the simulator.
 
-The gate: a repair-storm schedule holding ~5k concurrent flows on a
-racked 60-node fabric must run >= 10x faster through the struct-of-
-arrays :class:`~repro.cluster.flownet.FlowTable` than through the
-reference :class:`~repro.cluster.network.Network` — while producing
+The gate: a repair-storm schedule on a racked 60-node fabric must run
+>= 10x faster through the struct-of-arrays
+:class:`~repro.cluster.flownet.FlowTable` than through the reference
+:class:`~repro.cluster.network.Network` — while producing
 *element-identical* completion records (same flows, same order, same
 exact float timestamps) and byte totals equal to float re-association
-tolerance.
+tolerance.  The seed engine's event cascades are O(F^2)-O(F^2 log F)
+in concurrent flows, so the comparison size sets almost the whole cost
+of this file: the smoke-lane gate runs at 1,500 concurrent flows
+(~40 s of seed time, the ratio already far past the floor), and the
+nightly job repeats the comparison at the full 5,000-flow scale point
+the paper's repair storms reach.
 """
 
 import time
 
 import numpy as np
+import pytest
 
 from repro.cluster import FlowTable, MetricsCollector, Network, Simulation
 
@@ -27,15 +33,16 @@ from conftest import record_metric, write_report
 
 NUM_NODES = 60
 NUM_RACKS = 6
-TARGET_FLOWS = 5000
+SMOKE_FLOWS = 1500
+FULL_FLOWS = 5000
 BURSTS = 25
 BLOCK = 64e6
 
 
-def drive(engine_cls):
+def drive(engine_cls, target_flows):
     """One repair-storm schedule: 25 same-instant admission bursts of
-    200 block transfers one second apart (a BlockFixer scan launches
-    its whole read set at one instant), then drain to completion."""
+    ``target_flows / 25`` block transfers one second apart (a BlockFixer
+    scan launches its whole read set at one instant), then drain."""
     rng = np.random.default_rng(11)
     sim = Simulation()
     metrics = MetricsCollector(bucket_width=300.0)
@@ -46,7 +53,7 @@ def drive(engine_cls):
     )
     completions: list[tuple[int, float]] = []
     flow_id = [0]
-    per_burst = TARGET_FLOWS // BURSTS
+    per_burst = target_flows // BURSTS
 
     def burst():
         for _ in range(per_burst):
@@ -71,20 +78,21 @@ def drive(engine_cls):
     return elapsed, completions, metrics, net.cross_rack_bytes, peak[0]
 
 
-def test_flow_table_10x_faster_and_element_identical():
+def _compare_engines(target_flows):
+    """Run both engines at one scale; assert identity, return timings."""
     flow_seconds, flow_completions, flow_metrics, flow_xr, flow_peak = drive(
-        FlowTable
+        FlowTable, target_flows
     )
     seed_seconds, seed_completions, seed_metrics, seed_xr, seed_peak = drive(
-        Network
+        Network, target_flows
     )
 
     # Element-identical dynamics: same completion order, exact times.
     assert flow_completions == seed_completions
-    assert len(flow_completions) == TARGET_FLOWS
+    assert len(flow_completions) == target_flows
     assert seed_peak == flow_peak
     # The schedule actually reaches repair-storm concurrency.
-    assert flow_peak >= 4900
+    assert flow_peak >= 0.9 * target_flows
     # Byte totals agree to float re-association tolerance.
     assert np.isclose(
         flow_metrics.hdfs_bytes_read, seed_metrics.hdfs_bytes_read, rtol=1e-9
@@ -100,27 +108,49 @@ def test_flow_table_10x_faster_and_element_identical():
         seed_metrics.network_series.values(),
         rtol=1e-9,
     )
+    return flow_seconds, seed_seconds, flow_peak
 
+
+def test_flow_table_10x_faster_and_element_identical():
+    flow_seconds, seed_seconds, flow_peak = _compare_engines(SMOKE_FLOWS)
     speedup = seed_seconds / flow_seconds
     report = (
-        f"{TARGET_FLOWS} flows in {BURSTS} bursts on {NUM_NODES} nodes / "
+        f"{SMOKE_FLOWS} flows in {BURSTS} bursts on {NUM_NODES} nodes / "
         f"{NUM_RACKS} racks (rack uplinks capped); peak concurrency "
         f"{flow_peak}\n"
         f"seed per-flow Network: {seed_seconds:.2f} s\n"
         f"vectorized FlowTable:  {flow_seconds:.2f} s\n"
-        f"speedup: {speedup:.1f}x "
-        f"(completion records element-identical: "
-        f"{flow_completions == seed_completions})"
+        f"speedup: {speedup:.1f}x (completion records element-identical)"
     )
     write_report("network.txt", report)
     print()
     print(report)
-    record_metric("network_flows", float(TARGET_FLOWS))
-    record_metric("network_seed_seconds_5k_flows", seed_seconds)
-    record_metric("network_flownet_seconds_5k_flows", flow_seconds)
+    record_metric("network_flows", float(SMOKE_FLOWS))
+    record_metric("network_seed_seconds", seed_seconds)
+    record_metric("network_flownet_seconds", flow_seconds)
     record_metric("network_speedup", speedup)
 
     # The acceptance gate: >= 10x over the per-flow reference engine.
+    assert speedup >= 10.0, f"flow table only {speedup:.1f}x faster"
+
+
+@pytest.mark.slow
+def test_flow_table_full_repair_storm_scale_point():
+    """Nightly: the full 5k-flow scale point of the paper's repair storms.
+
+    The seed side alone takes ~450 s here (O(F^2) cascades), which is
+    why the smoke gate runs the smaller comparison above; the identity
+    assertions and the floor are the same.
+    """
+    flow_seconds, seed_seconds, flow_peak = _compare_engines(FULL_FLOWS)
+    speedup = seed_seconds / flow_seconds
+    print(
+        f"\n{FULL_FLOWS} flows (peak {flow_peak}): seed {seed_seconds:.2f} s, "
+        f"flow table {flow_seconds:.2f} s -> {speedup:.1f}x"
+    )
+    record_metric("network_seed_seconds_5k_flows", seed_seconds)
+    record_metric("network_flownet_seconds_5k_flows", flow_seconds)
+    record_metric("network_speedup_5k_flows", speedup)
     assert speedup >= 10.0, f"flow table only {speedup:.1f}x faster"
 
 

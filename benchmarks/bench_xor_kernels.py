@@ -1,0 +1,239 @@
+"""E27: the compiled XOR plane's performance gates.
+
+The paper's engineering claim is that LRC light repairs are cheap
+because local parities are *pure XOR* (Section 2.1's ``c_i = 1``
+choice).  The compiled XOR plane (:mod:`repro.codes.xorplane`) makes
+the codec realise that: a light repair replays as a handful of wide
+``np.bitwise_xor`` passes instead of the gather-kernel
+(:func:`~repro.galois.gf_matmul_batch`) matrix product the heavy path
+pays.  Two gates and one sweep:
+
+* the light-repair XOR stream must beat the heavy ``gf_matmul_batch``
+  rebuild of the same block by >= 10x on large payloads, byte-identical,
+  and its absolute throughput is recorded (``xor_lrc_light_repair_gb_per_s``
+  — the plane sustains >= 1 GB/s on a quiet machine);
+* plane-dispatched encode must not lose to the gather encode
+  (``xor_encode_mb_per_s`` joins ``codec_encode_mb_per_s`` in the
+  regression baseline's throughput guard);
+* byte-identity of the plane against the scalar GF path over decodable
+  erasure patterns for RS(10,4), Xorbas LRC(10,6,5), Pyramid and SRC —
+  every pattern up to n - k erasures in the nightly sweep, the
+  two-erasure prefix in the smoke lane.
+"""
+
+import gc
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    CodecEngine,
+    DecodingError,
+    SimpleRegeneratingCode,
+    pyramid_10_4,
+    rs_10_4,
+    xorbas_lrc,
+)
+from repro.difftest import gate_speedup
+
+from conftest import record_metric, write_report
+
+STRIPES = 2_000
+PAYLOAD_BYTES = 8_192
+
+
+def test_xor_plane_light_repair_10x_over_gather_and_identical():
+    """LRC light repair as a compiled XOR stream vs the heavy gather rebuild."""
+    code = xorbas_lrc()
+    lost = 2
+    rng = np.random.default_rng(7)
+    data3d = code.field.random_elements(rng, (STRIPES, code.k, PAYLOAD_BYTES))
+    coded = code.encode_stripes(data3d)
+
+    decision = code.planner.plan_block(lost, set(range(code.n)) - {lost})
+    assert decision.light and decision.xor_stream
+    light_available = {
+        p: np.ascontiguousarray(coded[:, p, :]) for p in decision.sources
+    }
+    heavy_available = {
+        p: np.ascontiguousarray(coded[:, p, :])
+        for p in range(code.n)
+        if p != lost
+    }
+    gf_engine = CodecEngine(code, use_xor_plane=False)
+
+    def heavy_path():
+        # The gather kernel over the cached rebuild matrix: one table
+        # gather per non-unit coefficient across k survivor slabs.
+        return gf_engine.reconstruct((lost,), heavy_available)[:, 0, :]
+
+    def light_path():
+        # The planner's pure-XOR stream: len(sources) - 1 wide XOR passes.
+        return code.engine.repair_stripes(lost, light_available)
+
+    def compare(spec_result, engine_result):
+        assert np.array_equal(spec_result, engine_result)
+        assert np.array_equal(engine_result, coded[:, lost, :])
+
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        record = gate_speedup(
+            "xor_plane",
+            spec_fn=heavy_path,
+            engine_fn=light_path,
+            floor=10.0,
+            repeat=3,
+            compare=compare,
+            metrics=record_metric,
+        )
+    finally:
+        gc.enable()
+        gc.unfreeze()
+
+    rebuilt_bytes = STRIPES * PAYLOAD_BYTES
+    gb_per_s = rebuilt_bytes / record.engine_seconds / 1e9
+    record_metric("xor_lrc_light_repair_gb_per_s", gb_per_s)
+    stats = code.engine.stats()
+    report = (
+        f"{STRIPES} stripes x {PAYLOAD_BYTES} B rebuilt "
+        f"({rebuilt_bytes / 1e6:.1f} MB), {code.name}, block {lost} lost\n"
+        f"heavy gather rebuild ({len(heavy_available)} survivors): "
+        f"{record.spec_seconds:.3f} s (best of 3)\n"
+        f"light XOR stream ({len(decision.sources)} group reads):     "
+        f"{record.engine_seconds:.4f} s (best of 3)\n"
+        f"speedup:    {record.speedup:.1f}x\n"
+        f"throughput: {gb_per_s:.2f} GB/s rebuilt\n"
+        f"engine stats: {stats}"
+    )
+    write_report("xor_plane.txt", report)
+    print()
+    print(report)
+
+
+def test_xor_encode_throughput_and_identical():
+    """Plane-dispatched encode vs the gather encode: identical, not slower."""
+    code = rs_10_4()
+    rng = np.random.default_rng(11)
+    data3d = code.field.random_elements(rng, (1_000, code.k, 4_096))
+    plane_engine = CodecEngine(code)
+    gf_engine = CodecEngine(code, use_xor_plane=False)
+
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        record = gate_speedup(
+            "xor_encode",
+            spec_fn=lambda: gf_engine.encode_stripes(data3d),
+            engine_fn=lambda: plane_engine.encode_stripes(data3d),
+            floor=1.1,
+            repeat=3,
+            compare=lambda spec, engine: np.testing.assert_array_equal(
+                spec, engine
+            ),
+            metrics=record_metric,
+        )
+    finally:
+        gc.enable()
+        gc.unfreeze()
+    mb = data3d.nbytes / 1e6
+    record_metric("xor_encode_mb_per_s", mb / record.engine_seconds)
+    schedule = code.encode_schedule()
+    assert schedule.use_plane
+    record_metric("xor_encode_xors_per_byte", schedule.xor_bytes_per_output_byte)
+    print(
+        f"\nencode {mb:.0f} MB: plane {mb / record.engine_seconds:.0f} MB/s "
+        f"vs gather {mb / record.spec_seconds:.0f} MB/s "
+        f"({record.speedup:.2f}x, {schedule.xor_bytes_per_output_byte:.2f} "
+        f"XOR bytes/output byte)"
+    )
+
+
+# -- byte-identity sweeps ----------------------------------------------------
+
+
+def _sweep_linear_code(code, max_erasures):
+    """Plane vs GF path over every decodable pattern up to ``max_erasures``."""
+    fast = CodecEngine(code, use_xor_plane=True)
+    slow = CodecEngine(code, use_xor_plane=False)
+    rng = np.random.default_rng(code.n)
+    data3d = code.field.random_elements(rng, (2, code.k, 16))
+    coded = fast.encode_stripes(data3d)
+    np.testing.assert_array_equal(coded, slow.encode_stripes(data3d))
+    patterns = 0
+    for erasures in range(1, max_erasures + 1):
+        for erased in combinations(range(code.n), erasures):
+            available = set(range(code.n)) - set(erased)
+            if not code.is_decodable(available):
+                continue
+            payloads = {p: coded[:, p, :] for p in available}
+            fast_rebuilt = fast.reconstruct(erased, payloads)
+            slow_rebuilt = slow.reconstruct(erased, payloads)
+            assert np.array_equal(fast_rebuilt, slow_rebuilt), erased
+            for j, position in enumerate(erased):
+                assert np.array_equal(
+                    fast_rebuilt[:, j, :], coded[:, position, :]
+                ), (erased, position)
+            patterns += 1
+    assert patterns > 0
+    return patterns
+
+
+def _sweep_src(max_losses):
+    """SRC node-loss sweep: both halves decode through the plane."""
+    src_fast = SimpleRegeneratingCode(14, 10)
+    src_slow = SimpleRegeneratingCode(14, 10)
+    # The halves decode through the precode's engine; pin the reference
+    # instance's engine to the gather path.
+    src_slow.precode._engine = CodecEngine(src_slow.precode, use_xor_plane=False)
+    rng = np.random.default_rng(14)
+    data = src_fast.field.random_elements(rng, (2 * src_fast.k, 16))
+    triples = src_fast.encode(data)
+    patterns = 0
+    for losses in range(1, max_losses + 1):
+        for lost in combinations(range(src_fast.n), losses):
+            surviving = {
+                node: triples[node]
+                for node in range(src_fast.n)
+                if node not in lost
+            }
+            try:
+                fast_decoded = src_fast.decode(surviving)
+            except DecodingError:
+                continue
+            assert np.array_equal(fast_decoded, src_slow.decode(surviving)), lost
+            assert np.array_equal(fast_decoded, data), lost
+            patterns += 1
+    assert patterns > 0
+    return patterns
+
+
+SWEEP_CODES = [rs_10_4, xorbas_lrc, pyramid_10_4]
+
+
+@pytest.mark.parametrize("make_code", SWEEP_CODES, ids=lambda f: f.__name__)
+def test_plane_byte_identical_two_erasure_prefix(make_code):
+    """Smoke-lane slice of the sweep: all single and double erasures."""
+    _sweep_linear_code(make_code(), max_erasures=2)
+
+
+def test_src_byte_identical_two_loss_prefix():
+    _sweep_src(max_losses=2)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("make_code", SWEEP_CODES, ids=lambda f: f.__name__)
+def test_plane_byte_identical_every_decodable_pattern(make_code):
+    """Nightly: every decodable pattern up to n - k erasures."""
+    code = make_code()
+    patterns = _sweep_linear_code(code, max_erasures=code.n - code.k)
+    record_metric(f"xor_sweep_patterns_{code.name}", patterns)
+
+
+@pytest.mark.slow
+def test_src_byte_identical_every_decodable_pattern():
+    patterns = _sweep_src(max_losses=4)
+    record_metric("xor_sweep_patterns_SRC(14,10,2)", patterns)

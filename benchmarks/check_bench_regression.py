@@ -8,6 +8,11 @@ script compares a fresh run against ``benchmarks/bench_baseline.json``
 below ``floor_fraction`` (70%) of its baseline — catching perf
 regressions that still clear the absolute 10x floors.
 
+The baseline's optional ``throughput`` section guards absolute rates
+(MB/s, GB/s) the same way under its own ``throughput_floor_fraction``
+(default 50% — absolute throughput varies more across runners than a
+same-machine speedup ratio does, so the floor is looser).
+
 Usage (as CI runs it, after the bench smoke)::
 
     python benchmarks/check_bench_regression.py \
@@ -27,19 +32,12 @@ import sys
 from pathlib import Path
 
 
-def compare(
-    metrics: dict, baseline: dict
+def _compare_section(
+    metrics: dict, section: dict, floor_fraction: float, unit: str
 ) -> tuple[list[dict], bool]:
-    """Rows of the delta table, plus whether every gate held.
-
-    A gated metric missing from the fresh results counts as a failure:
-    a benchmark that silently stopped recording its speedup must not
-    read as green.
-    """
-    floor_fraction = float(baseline.get("floor_fraction", 0.7))
     rows = []
     ok = True
-    for name, base_value in sorted(baseline["gated"].items()):
+    for name, base_value in sorted(section.items()):
         fresh = metrics.get(name)
         if fresh is None:
             rows.append(
@@ -49,6 +47,7 @@ def compare(
                     "fresh": None,
                     "ratio": None,
                     "status": "MISSING",
+                    "unit": unit,
                 }
             )
             ok = False
@@ -62,32 +61,56 @@ def compare(
                 "fresh": float(fresh),
                 "ratio": ratio,
                 "status": "ok" if passed else "REGRESSED",
+                "unit": unit,
             }
         )
         ok = ok and passed
     return rows, ok
 
 
+def compare(
+    metrics: dict, baseline: dict
+) -> tuple[list[dict], bool]:
+    """Rows of the delta table, plus whether every gate held.
+
+    A gated metric missing from the fresh results counts as a failure:
+    a benchmark that silently stopped recording its speedup must not
+    read as green.  Speedup ratios (``gated``) and absolute throughputs
+    (``throughput``) check identically, each under its own floor.
+    """
+    floor_fraction = float(baseline.get("floor_fraction", 0.7))
+    rows, ok = _compare_section(
+        metrics, baseline["gated"], floor_fraction, unit="x"
+    )
+    throughput_floor = float(baseline.get("throughput_floor_fraction", 0.5))
+    throughput_rows, throughput_ok = _compare_section(
+        metrics, baseline.get("throughput", {}), throughput_floor, unit=""
+    )
+    return rows + throughput_rows, ok and throughput_ok
+
+
 def format_table(rows: list[dict], floor_fraction: float) -> str:
     lines = [
         "### Gated benchmark speedups vs baseline",
         "",
-        f"Gate: fresh speedup must stay >= {floor_fraction:.0%} of baseline.",
+        f"Gate: fresh speedup must stay >= {floor_fraction:.0%} of baseline"
+        " (throughput rows under their own floor).",
         "",
         "| benchmark | baseline | fresh | delta | status |",
         "| --- | --- | --- | --- | --- |",
     ]
     for row in rows:
+        unit = row.get("unit", "x")
         if row["fresh"] is None:
             lines.append(
-                f"| {row['name']} | {row['baseline']:.1f}x | — | — "
+                f"| {row['name']} | {row['baseline']:.1f}{unit} | — | — "
                 f"| {row['status']} |"
             )
         else:
             delta = (row["ratio"] - 1.0) * 100.0
             lines.append(
-                f"| {row['name']} | {row['baseline']:.1f}x "
-                f"| {row['fresh']:.1f}x | {delta:+.0f}% | {row['status']} |"
+                f"| {row['name']} | {row['baseline']:.1f}{unit} "
+                f"| {row['fresh']:.1f}{unit} | {delta:+.0f}% | {row['status']} |"
             )
     return "\n".join(lines) + "\n"
 

@@ -351,6 +351,7 @@ def _cmd_codec(stripes: int, payload_bytes: int, seed: int) -> int:
         )
         all_verified = all_verified and verified
         stats = code.engine.stats()
+        schedule = code.encode_schedule()
         mb = stripes * code.k * payload_bytes * code.field.dtype.itemsize / 1e6
         rows.append(
             (
@@ -359,7 +360,9 @@ def _cmd_codec(stripes: int, payload_bytes: int, seed: int) -> int:
                 f"{mb / reconstruct_seconds:.0f}",
                 stats.cache_hits,
                 stats.cache_misses,
-                stats.stripes_encoded,
+                f"{stats.schedule_hits}/{stats.schedule_misses}",
+                stats.xor_plane_calls,
+                f"{schedule.xor_bytes_per_output_byte:.2f}",
                 "yes" if verified else "NO",
             )
         )
@@ -371,11 +374,13 @@ def _cmd_codec(stripes: int, payload_bytes: int, seed: int) -> int:
                 "rebuild MB/s",
                 "cache hits",
                 "misses",
-                "stripes",
+                "sched h/m",
+                "XOR calls",
+                "XOR/byte",
                 "verified",
             ],
             rows,
-            title="Codec engine throughput and DecoderCache statistics",
+            title="Codec engine throughput, DecoderCache and ScheduleCache statistics",
         )
     )
     return 0 if all_verified else 1

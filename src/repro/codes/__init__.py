@@ -22,7 +22,9 @@ from .engine import (
     EngineStats,
     RepairDecision,
     RepairPlanner,
+    ScheduleCache,
 )
+from .xorplane import XorSchedule, compile_xor_schedule, cse_rows
 from .bounds import (
     Theorem1Parameters,
     locality_distance_bound,
@@ -78,6 +80,10 @@ __all__ = [
     "RepairDecision",
     "RepairPlan",
     "RepairPlanner",
+    "ScheduleCache",
+    "XorSchedule",
+    "compile_xor_schedule",
+    "cse_rows",
     "LinearCode",
     "systematize",
     "ReedSolomonCode",

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..galois import GF, GF256
+from ..galois import GF, GF256, gf_element_bitmatrix, gf_matrix_to_bitmatrix
 from .base import CodeParameters
 from .linear import LinearCode
 
@@ -120,28 +120,18 @@ def element_to_bitmatrix(field: GF, element: int) -> np.ndarray:
     This is a ring homomorphism: M(a) + M(b) = M(a XOR b) over GF(2)
     and M(a) @ M(b) = M(a*b), which is what makes the expanded parity
     matrix compute the same codeword as the field arithmetic.
+
+    The construction was born here for Cauchy-RS and now lives in
+    :func:`repro.galois.gf_element_bitmatrix`, where the XOR execution
+    plane (:mod:`repro.codes.xorplane`) applies it to *every* linear
+    code's matrices; this alias keeps the historical Cauchy vocabulary.
     """
-    m = field.m
-    matrix = np.zeros((m, m), dtype=np.uint8)
-    for t in range(m):
-        product = field.mul(int(element), field.exp(t)) if element else 0
-        for bit in range(m):
-            matrix[bit, t] = (int(product) >> bit) & 1
-    return matrix
+    return gf_element_bitmatrix(field, element)
 
 
 def build_parity_bitmatrix(code: CauchyRSCode) -> np.ndarray:
     """The (parity*m) x (k*m) binary parity matrix of the code."""
-    field = code.field
-    m = field.m
-    parity, k = code.cauchy.shape
-    bits = np.zeros((parity * m, k * m), dtype=np.uint8)
-    for i in range(parity):
-        for j in range(k):
-            bits[i * m : (i + 1) * m, j * m : (j + 1) * m] = element_to_bitmatrix(
-                field, int(code.cauchy[i, j])
-            )
-    return bits
+    return gf_matrix_to_bitmatrix(code.field, code.cauchy)
 
 
 def _to_bitrows(field: GF, blocks: np.ndarray) -> np.ndarray:
@@ -165,12 +155,18 @@ def _from_bitrows(field: GF, bitrows: np.ndarray) -> np.ndarray:
 
 
 def xor_encode(code: CauchyRSCode, data: np.ndarray) -> np.ndarray:
-    """Encode using only XORs: the bit-matrix schedule.
+    """Encode using only XORs: the naive bit-matrix product.
 
     Produces exactly the same ``(n, width)`` codeword as
     ``code.encode(data)``, but every parity bit-row is the XOR of the
     data bit-rows its bit-matrix row selects — the operation real
     implementations unroll into machine-word XOR loops.
+
+    This is the *executable spec* of the compiled XOR plane: the
+    ``xorplane`` entry in the difftest registry pairs this bit-by-bit
+    formulation against :class:`~repro.codes.xorplane.XorSchedule`,
+    which computes the same bitmatrix product as a CSE-factored word
+    program (``tests/test_xorplane.py`` holds them byte-identical).
     """
     data = np.atleast_2d(np.asarray(data, dtype=code.field.dtype))
     if data.shape[0] != code.k:

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..galois import gf_inv, gf_matmul, gf_matmul_batch
 from .base import DecodingError, RepairPlan
+from .xorplane import XorSchedule, compile_xor_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .base import ErasureCode
@@ -40,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DecoderCache",
+    "ScheduleCache",
     "CodecEngine",
     "EngineStats",
     "RepairDecision",
@@ -128,6 +130,21 @@ class DecoderCache:
         }
 
 
+class ScheduleCache(DecoderCache):
+    """LRU of compiled XOR schedules, living alongside :class:`DecoderCache`.
+
+    Keyed by the same interned erasure-pattern keys as the decode-matrix
+    cache (``("encode",)``, ``("decode", pattern)``, ``("reconstruct",
+    lost, pattern)``, ``("plan", plan)``), so a node failure that plans
+    once also compiles its XOR program once.  Values are
+    :class:`~repro.codes.xorplane.XorSchedule` objects, kept even when
+    their cost model rejected the plane — remembering "the GF path wins
+    here" is as valuable as remembering the program.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(frozen=True)
 class EngineStats:
     """Counters describing one engine's life so far."""
@@ -140,6 +157,12 @@ class EngineStats:
     cache_misses: int
     cache_evictions: int
     cache_size: int
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+    schedule_evictions: int = 0
+    schedule_size: int = 0
+    xor_plane_calls: int = 0
+    xor_plane_stripes: int = 0
 
     def __str__(self) -> str:
         return (
@@ -147,7 +170,9 @@ class EngineStats:
             f"reconstruct: {self.reconstruct_calls} calls / "
             f"{self.stripes_reconstructed} stripes; "
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses, "
-            f"{self.cache_evictions} evictions"
+            f"{self.cache_evictions} evictions; "
+            f"schedules: {self.schedule_hits} hits, {self.schedule_misses} misses, "
+            f"{self.xor_plane_calls} XOR-plane calls"
         )
 
 
@@ -169,14 +194,52 @@ class CodecEngine:
     outputs are byte-identical to per-stripe ``encode``/``decode``.
     """
 
-    def __init__(self, code: "LinearCode", cache_size: int = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        code: "LinearCode",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        use_xor_plane: bool = True,
+    ):
         self.code = code
         self.field = code.field
         self.cache = DecoderCache(cache_size)
+        self.schedules = ScheduleCache(cache_size)
+        self.use_xor_plane = use_xor_plane
         self.encode_calls = 0
         self.stripes_encoded = 0
         self.reconstruct_calls = 0
         self.stripes_reconstructed = 0
+        self.xor_plane_calls = 0
+        self.xor_plane_stripes = 0
+
+    # -- the compiled XOR plane ---------------------------------------------
+
+    def _schedule(self, key, build_matrix: Callable[[], np.ndarray]) -> XorSchedule | None:
+        """The compiled schedule for ``key`` if the plane should run it.
+
+        Compiles (and caches) on first sight of the pattern; returns
+        ``None`` when the plane is disabled or the schedule's cost model
+        says the gather kernel wins, in which case callers keep the GF
+        path.
+        """
+        if not self.use_xor_plane:
+            return None
+        schedule = self.schedules.lookup(
+            key, lambda: compile_xor_schedule(self.field, build_matrix())
+        )
+        return schedule if schedule.use_plane else None
+
+    def _apply_plane(self, schedule: XorSchedule, batch: np.ndarray) -> np.ndarray:
+        self.xor_plane_calls += 1
+        self.xor_plane_stripes += batch.shape[0]
+        return schedule.apply(batch)
+
+    def encode_schedule(self) -> XorSchedule:
+        """The compiled encode program (for introspection; always compiled)."""
+        return self.schedules.lookup(
+            ("encode",),
+            lambda: compile_xor_schedule(self.field, self.code.generator.T),
+        )
 
     # -- encoding -----------------------------------------------------------
 
@@ -190,6 +253,11 @@ class CodecEngine:
             )
         self.encode_calls += 1
         self.stripes_encoded += data3d.shape[0]
+        schedule = self._schedule(
+            ("encode",), lambda: self.code.generator.T
+        )
+        if schedule is not None:
+            return self._apply_plane(schedule, data3d)
         return gf_matmul_batch(self.field, self.code.generator.T, data3d)
 
     # -- cached decode/reconstruction matrices ------------------------------
@@ -250,6 +318,11 @@ class CodecEngine:
         stacked = stack_stripes(self.field, available, chosen)
         self.reconstruct_calls += 1
         self.stripes_reconstructed += stacked.shape[0]
+        schedule = self._schedule(
+            ("decode", frozenset(int(p) for p in available.keys())), lambda: matrix
+        )
+        if schedule is not None:
+            return self._apply_plane(schedule, stacked)
         return gf_matmul_batch(self.field, matrix, stacked)
 
     def reconstruct(
@@ -267,6 +340,12 @@ class CodecEngine:
         stacked = stack_stripes(self.field, available, chosen)
         self.reconstruct_calls += 1
         self.stripes_reconstructed += stacked.shape[0]
+        schedule = self._schedule(
+            ("reconstruct", lost, frozenset(int(p) for p in available.keys())),
+            lambda: rebuild,
+        )
+        if schedule is not None:
+            return self._apply_plane(schedule, stacked)
         return gf_matmul_batch(self.field, rebuild, stacked)
 
     def repair_stripes(
@@ -285,19 +364,48 @@ class CodecEngine:
     def execute_plan_stripes(
         self, plan: RepairPlan, available: Mapping[int, np.ndarray]
     ) -> np.ndarray:
-        """Apply one repair plan to every stripe of a batch at once."""
+        """Apply one repair plan to every stripe of a batch at once.
+
+        XOR-only plans (LRC local groups) compile to a single-pass XOR
+        stream over the source slabs — streamed straight from the
+        per-position arrays, skipping the ``stack_stripes`` copy that
+        the matrix paths need.  Plans with field coefficients keep the
+        axpy loop when the cost model prefers it (a Pyramid light repair
+        multiplies few sources — bit slicing would cost more than it
+        saves).
+        """
+        self.reconstruct_calls += 1
+        schedule = self._schedule(
+            ("plan", plan),
+            lambda: np.asarray([plan.coefficients], dtype=self.field.dtype),
+        )
+        if schedule is not None and schedule.pure_xor and len(schedule.word_rows) == 1:
+            columns = []
+            for position in plan.sources:
+                column = np.asarray(available[position], dtype=self.field.dtype)
+                columns.append(column[None, :] if column.ndim == 1 else column)
+            self.stripes_reconstructed += columns[0].shape[0]
+            self.xor_plane_calls += 1
+            self.xor_plane_stripes += columns[0].shape[0]
+            nodes = schedule.word_rows[0][1]  # a 1-row matrix has one word row
+            out = np.bitwise_xor(columns[nodes[0]], columns[nodes[1]])
+            for node in nodes[2:]:
+                np.bitwise_xor(out, columns[node], out=out)
+            return out
         stacked = stack_stripes(self.field, available, plan.sources)
+        self.stripes_reconstructed += stacked.shape[0]
+        if schedule is not None:
+            return self._apply_plane(schedule, stacked)[:, 0, :]
         out = np.zeros((stacked.shape[0], stacked.shape[2]), dtype=self.field.dtype)
         for index, coeff in enumerate(plan.coefficients):
             self.field.addmul(out, coeff, stacked[:, index, :])
-        self.reconstruct_calls += 1
-        self.stripes_reconstructed += stacked.shape[0]
         return out
 
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> EngineStats:
         cache = self.cache.stats()
+        schedules = self.schedules.stats()
         return EngineStats(
             encode_calls=self.encode_calls,
             stripes_encoded=self.stripes_encoded,
@@ -307,6 +415,12 @@ class CodecEngine:
             cache_misses=cache["misses"],
             cache_evictions=cache["evictions"],
             cache_size=cache["size"],
+            schedule_hits=schedules["hits"],
+            schedule_misses=schedules["misses"],
+            schedule_evictions=schedules["evictions"],
+            schedule_size=schedules["size"],
+            xor_plane_calls=self.xor_plane_calls,
+            xor_plane_stripes=self.xor_plane_stripes,
         )
 
     def __repr__(self) -> str:
@@ -321,13 +435,19 @@ class RepairDecision:
     ``"heavy"`` (full decode over the survivors) or ``"loss"`` (the
     pattern is undecodable).  ``sources`` lists the *readable* positions
     the repair streams in — light plans keep plan order, heavy repairs
-    read every readable survivor in sorted order.
+    read every readable survivor in sorted order.  ``xor_stream`` marks
+    light plans whose coefficients are all 1 (LRC local groups, the
+    paper's ``c_i = 1`` construction): the engine executes those as a
+    single-pass XOR stream over the source slabs, no field
+    multiplications at all.  Pyramid light repairs carry RS coefficients
+    and stay on the multiplicative path.
     """
 
     kind: str
     lost: tuple[int, ...]
     sources: tuple[int, ...]
     plan: RepairPlan | None = None
+    xor_stream: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -391,7 +511,13 @@ class RepairPlanner:
         plan = self.code.best_repair_plan(lost, usable)
         if plan is not None:
             sources = tuple(p for p in plan.sources if p in readable)
-            return RepairDecision(kind="light", lost=(lost,), sources=sources, plan=plan)
+            return RepairDecision(
+                kind="light",
+                lost=(lost,),
+                sources=sources,
+                plan=plan,
+                xor_stream=plan.is_xor_only(),
+            )
         if self.code.is_decodable(usable):
             return RepairDecision(
                 kind="heavy", lost=(lost,), sources=tuple(sorted(readable))

@@ -52,7 +52,7 @@ from .schedule import (
     spawn_streams,
 )
 
-from . import pairs as _pairs  # registers the nine spec/engine pairs
+from . import pairs as _pairs  # registers the ten spec/engine pairs
 
 del _pairs
 

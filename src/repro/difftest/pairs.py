@@ -1,4 +1,4 @@
-"""The nine spec/engine pairs, declared in one place.
+"""The ten spec/engine pairs, declared in one place.
 
 Importing :mod:`repro.difftest` registers every pair, so
 :func:`~repro.difftest.registry.engine_matrix` is the single source of
@@ -32,6 +32,17 @@ register_engine_pair(
     engine="repro.codes.engine",
     config_field=None,  # per-call: scalar decode vs code.engine
     gate="codec_engine_speedup",
+)
+
+register_engine_pair(
+    "xorplane",
+    spec="repro.codes.cauchy.xor_encode",
+    engine="repro.codes.xorplane.XorSchedule",
+    implementations={"gf": None, "xor": None},
+    aliases={"seed": "gf", "plane": "xor"},
+    default="xor",
+    config_field=None,  # constructor: CodecEngine(code, use_xor_plane=...)
+    gate="xor_plane_speedup",
 )
 
 register_engine_pair(

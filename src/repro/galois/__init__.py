@@ -6,6 +6,13 @@ utility layer of HDFS-RAID that the paper's ErasureCode component relies
 on (Section 3), implemented from scratch with numpy-vectorised kernels.
 """
 
+from .bitplane import (
+    bit_transpose8,
+    gf_element_bitmatrix,
+    gf_matrix_to_bitmatrix,
+    pack_bitplanes,
+    unpack_bitplanes,
+)
 from .field import GF, GF16, GF256
 from .linalg import (
     gf_identity,
@@ -35,6 +42,11 @@ __all__ = [
     "default_primitive_poly",
     "find_primitive_poly",
     "is_primitive",
+    "bit_transpose8",
+    "gf_element_bitmatrix",
+    "gf_matrix_to_bitmatrix",
+    "pack_bitplanes",
+    "unpack_bitplanes",
     "gf_identity",
     "gf_independent_columns",
     "gf_inv",

@@ -21,6 +21,14 @@ BASELINE = {
     "gated": {"alpha_speedup": 10.0, "beta_speedup": 100.0},
 }
 
+THROUGHPUT_BASELINE = {
+    "schema": 2,
+    "floor_fraction": 0.7,
+    "gated": {"alpha_speedup": 10.0},
+    "throughput_floor_fraction": 0.5,
+    "throughput": {"gamma_mb_per_s": 100.0},
+}
+
 
 class TestCompare:
     def test_all_green(self):
@@ -50,6 +58,48 @@ class TestCompare:
         assert not ok
         assert rows[1]["name"] == "beta_speedup"
         assert rows[1]["status"] == "MISSING"
+
+
+class TestThroughputSection:
+    def test_throughput_guarded_under_its_own_floor(self):
+        # 60 MB/s is 60% of baseline: above the 50% throughput floor,
+        # but would fail the 70% speedup floor — the floors are distinct.
+        rows, ok = gate.compare(
+            {"alpha_speedup": 10.0, "gamma_mb_per_s": 60.0},
+            THROUGHPUT_BASELINE,
+        )
+        assert ok
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["gamma_mb_per_s"]["status"] == "ok"
+
+    def test_throughput_regression_fails(self):
+        rows, ok = gate.compare(
+            {"alpha_speedup": 10.0, "gamma_mb_per_s": 49.0},
+            THROUGHPUT_BASELINE,
+        )
+        assert not ok
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["gamma_mb_per_s"]["status"] == "REGRESSED"
+        assert by_name["alpha_speedup"]["status"] == "ok"
+
+    def test_missing_throughput_metric_fails(self):
+        _, ok = gate.compare({"alpha_speedup": 10.0}, THROUGHPUT_BASELINE)
+        assert not ok
+
+    def test_throughput_rows_render_without_speedup_unit(self):
+        rows, _ = gate.compare(
+            {"alpha_speedup": 14.0, "gamma_mb_per_s": 110.0},
+            THROUGHPUT_BASELINE,
+        )
+        table = gate.format_table(rows, 0.7)
+        assert "| gamma_mb_per_s | 100.0 | 110.0 | +10% | ok |" in table
+        assert "| alpha_speedup | 10.0x | 14.0x | +40% | ok |" in table
+
+    def test_baseline_without_throughput_section_still_works(self):
+        rows, ok = gate.compare(
+            {"alpha_speedup": 10.0, "beta_speedup": 100.0}, BASELINE
+        )
+        assert ok and len(rows) == 2
 
 
 class TestTableAndMain:

@@ -96,6 +96,23 @@ def test_deferred_payloads_encode_in_one_batch():
     assert np.array_equal(stripe.code.encode(decoded), stripe.payload)
 
 
+def test_batched_encode_dispatches_to_xor_plane():
+    """The cluster's deferred batch encode runs through the compiled XOR
+    plane transparently — no cluster-layer code opts in — and the plane's
+    output is still a valid codeword."""
+    code = xorbas_lrc()
+    cluster = HadoopCluster(code, small_config(), seed=5)
+    for i in range(3):
+        cluster.create_file(f"f{i}", 640e6)
+    assert code.engine.xor_plane_calls == 0
+    cluster.raid_all_instant()
+    assert code.engine.xor_plane_calls > 0
+    assert code.engine.stats().schedule_misses >= 1
+    stripe = cluster.all_stripes()[0]
+    decoded = stripe.code.decode({p: stripe.payload[p] for p in range(stripe.n)})
+    assert np.array_equal(stripe.code.encode(decoded), stripe.payload)
+
+
 def test_stale_batch_entry_invalidated_by_corruption():
     """A survivor payload mutated between scan and verify must invalidate
     the precomputed rebuild (CRC mismatch), forcing the scalar fallback

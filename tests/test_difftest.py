@@ -132,11 +132,12 @@ class TestScheduleProtocol:
 
 
 class TestRegistry:
-    def test_all_nine_pairs_registered(self):
+    def test_all_ten_pairs_registered(self):
         subsystems = {pair.subsystem for pair in engine_matrix()}
         assert subsystems == {
             "montecarlo",
             "codec",
+            "xorplane",
             "blockindex",
             "network",
             "readservice",
@@ -155,6 +156,8 @@ class TestRegistry:
         assert validate_engine_choice("network", "seed") == "seed"
         assert validate_engine_choice("readservice", "seed") == "event"
         assert validate_engine_choice("montecarlo", "vectorized") == "batched"
+        assert validate_engine_choice("xorplane", "plane") == "xor"
+        assert validate_engine_choice("xorplane", "seed") == "gf"
         with pytest.raises(ValueError, match="unknown scrubber engine"):
             validate_engine_choice("scrubber", "bogus")
 
