@@ -1,0 +1,70 @@
+"""reprolint: the repository's invariant analyzer.
+
+The reproduction's credibility rests on conventions that used to live
+only in reviewer memory — every random draw derives from a config seed
+via spawned streams, every vectorized engine keeps its scalar spec with
+a differential test and a CI-gated bench metric, empty-window statistics
+return NaN rather than a misleading zero, and simulation code never
+lets set-iteration order feed float accumulation.  This package
+mechanizes those contracts as a single-pass AST analysis (one
+``ast.parse`` per file, all rule visitors dispatched together) plus two
+project-level cross-file checks over the difftest registry and the
+committed benchmark baseline.
+
+Rules (each suppressible per line with ``# reprolint: disable=RL0xx``):
+
+========  =============================================================
+RL001     RNG discipline: no seedless or literal-seeded
+          ``np.random.default_rng`` / stdlib ``random`` in ``src/repro``
+RL002     engine purity: no per-element Python index loops over
+          struct-of-arrays fields inside registered engine bodies
+RL003     spec/engine conformance: every registered pair has a
+          differential test and a gated baseline metric; no dead keys
+RL004     NaN convention: empty-window stats return NaN, never 0
+RL005     float determinism: no set-ordered iteration feeding float
+          accumulation or event scheduling in cluster/reliability
+RL006     config validation: rate/duration/timeout-style numeric config
+          fields must be covered by the config's ``validate()``
+RL007     bench-gate consistency: every ``gate_speedup`` metric name
+          round-trips through ``bench_baseline.json`` (schema 2)
+========  =============================================================
+"""
+
+from .core import LintContext, RuleViolation, lint_file, lint_paths, lint_source
+from .project import ProjectContext, run_project_rules
+from .report import render_github, render_human, render_json
+from .rules import FILE_RULES, RULE_DESCRIPTIONS
+
+__all__ = [
+    "FILE_RULES",
+    "LintContext",
+    "ProjectContext",
+    "RULE_DESCRIPTIONS",
+    "RuleViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_repo",
+    "lint_source",
+    "render_github",
+    "render_human",
+    "render_json",
+    "run_project_rules",
+]
+
+
+def lint_repo(root=None, rules=None):
+    """Lint the repository's default targets plus the project rules.
+
+    Convenience wrapper used by the CLI and the self-application test:
+    per-file rules over ``src/``, ``benchmarks/`` and ``examples/``,
+    then the cross-file registry/baseline checks.  Returns the sorted
+    violation list.
+    """
+    from .cli import default_targets, resolve_root
+
+    root = resolve_root(root)
+    violations = lint_paths(default_targets(root), root=root, rules=rules)
+    if rules is None or {"RL003", "RL007"} & set(rules):
+        project = ProjectContext.from_repo(root)
+        violations.extend(run_project_rules(project, rules=rules))
+    return sorted(violations)

@@ -1,0 +1,133 @@
+"""The ``repro lint`` entry point.
+
+Exit codes follow linter convention: 0 clean, 1 violations found,
+2 usage/environment error (e.g. no repository root).  ``--format``
+selects human lines (default), JSON, or GitHub workflow commands; the
+github format also appends a markdown table to ``$GITHUB_STEP_SUMMARY``
+when CI exports it, matching ``check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+from typing import Sequence
+
+from .core import lint_paths
+from .project import ProjectContext, run_project_rules
+from .report import render_github, render_human, render_json, step_summary_table
+from .rules import RULE_DESCRIPTIONS
+
+__all__ = ["add_lint_arguments", "default_targets", "resolve_root", "run_lint"]
+
+#: Directories the self-application contract covers (tests/ lints its
+#: own fixtures, so it is deliberately excluded).
+DEFAULT_TARGET_NAMES = ("src", "benchmarks", "examples")
+
+PROJECT_RULES = frozenset({"RL003", "RL007"})
+
+
+def resolve_root(root: str | os.PathLike | None = None) -> Path:
+    """The repository root: explicit, else nearest ancestor of the cwd
+    (then of this file) containing ``pyproject.toml``."""
+    if root is not None:
+        return Path(root).resolve()
+    for start in (Path.cwd(), Path(__file__).resolve()):
+        for candidate in (start, *start.parents):
+            if (candidate / "pyproject.toml").exists():
+                return candidate
+    raise FileNotFoundError(
+        "cannot locate repository root (no pyproject.toml above cwd); "
+        "pass paths or --root explicitly"
+    )
+
+
+def default_targets(root: Path) -> list[Path]:
+    return [root / name for name in DEFAULT_TARGET_NAMES if (root / name).exists()]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: nearest pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "github"),
+        default="human",
+        help="output format (github emits ::error annotations and a "
+        "$GITHUB_STEP_SUMMARY table)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all), "
+        f"e.g. --rules=RL001,RL006; known: {','.join(sorted(RULE_DESCRIPTIONS))}",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    try:
+        root = resolve_root(args.root)
+    except FileNotFoundError as exc:
+        print(f"reprolint: error: {exc}")
+        return 2
+    rules: set[str] | None = None
+    if args.rules:
+        rules = {code.strip().upper() for code in args.rules.split(",") if code.strip()}
+        unknown = rules - set(RULE_DESCRIPTIONS)
+        if unknown:
+            print(
+                f"reprolint: error: unknown rule(s) {sorted(unknown)}; "
+                f"known: {sorted(RULE_DESCRIPTIONS)}"
+            )
+            return 2
+    explicit_paths = [Path(p) for p in args.paths]
+    targets = (
+        [p if p.is_absolute() else root / p for p in explicit_paths]
+        if explicit_paths
+        else default_targets(root)
+    )
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        print(f"reprolint: error: no such path(s): {', '.join(missing)}")
+        return 2
+    violations = lint_paths(targets, root=root, rules=rules)
+    # Project rules see the whole repository; run them only on a default
+    # (whole-repo) invocation so `repro lint some/file.py` stays scoped.
+    if not explicit_paths and (rules is None or rules & PROJECT_RULES):
+        project = ProjectContext.from_repo(root)
+        violations = sorted(violations + run_project_rules(project, rules=rules))
+    renderer = {
+        "human": render_human,
+        "json": render_json,
+        "github": render_github,
+    }[args.format]
+    print(renderer(violations))
+    if args.format == "github":
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as fh:
+                fh.write(step_summary_table(violations))
+    return 1 if violations else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="run the reprolint invariant analyzer"
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""The single-pass analysis framework behind reprolint.
+
+One ``ast.parse`` per file; every rule is a visitor object whose
+``visit_<NodeType>`` hooks are dispatched from a single tree walk, so
+adding a rule never adds a pass.  Violations carry (path, line, rule,
+message) and honour end-of-line pragmas::
+
+    rng = np.random.default_rng(0)  # reprolint: disable=RL001
+
+A pragma on a statement's first line suppresses matching violations
+reported anywhere inside that statement (a multi-line call is one
+logical construct).  ``disable=all`` suppresses every rule on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "RuleViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class RuleViolation:
+    """One finding: where, which rule, and what the contract says."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+def _parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Line number -> rule codes disabled on that line."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        match = PRAGMA.search(line)
+        if match:
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            pragmas[lineno] = codes
+    return pragmas
+
+
+@dataclass
+class LintContext:
+    """Everything a rule sees about one file: tree, lines, module path."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: str  # dotted module name ("" outside src/)
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    violations: list[RuleViolation] = field(default_factory=list)
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        for candidate in (line, getattr(node, "end_lineno", line)):
+            disabled = self.pragmas.get(candidate)
+            if disabled and (rule in disabled or "ALL" in disabled):
+                return
+        self.violations.append(RuleViolation(self.path, line, rule, message))
+
+
+class Rule:
+    """Base class: subclasses define ``code``/``description`` plus any
+    ``visit_<NodeType>`` hooks; ``applies_to`` scopes by module path."""
+
+    code = "RL000"
+    description = ""
+
+    def applies_to(self, context: LintContext) -> bool:
+        return True
+
+    def begin(self, context: LintContext) -> None:
+        """Per-file setup before the walk (optional)."""
+
+    def finish(self, context: LintContext) -> None:
+        """Per-file wrap-up after the walk (optional)."""
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Walks the tree once, fanning each node out to interested rules."""
+
+    def __init__(self, context: LintContext, rules: Sequence[Rule]):
+        self.context = context
+        self.handlers: dict[str, list] = {}
+        for rule in rules:
+            for name in dir(rule):
+                if name.startswith("visit_"):
+                    self.handlers.setdefault(name, []).append(getattr(rule, name))
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for handler in self.handlers.get(f"visit_{type(node).__name__}", ()):
+            handler(self.context, node)
+        super().generic_visit(node)
+
+    visit = generic_visit
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module for a file under ``<root>/src`` ("" elsewhere)."""
+    try:
+        relative = path.resolve().relative_to((root / "src").resolve())
+    except ValueError:
+        return ""
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    rules: Iterable[Rule] | None = None,
+) -> list[RuleViolation]:
+    """Lint one in-memory source blob (the fixture-test entry point)."""
+    from .rules import FILE_RULES
+
+    active = list(FILE_RULES() if rules is None else rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            RuleViolation(path, exc.lineno or 1, "RL000", f"syntax error: {exc.msg}")
+        ]
+    context = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module,
+        pragmas=_parse_pragmas(source),
+    )
+    applicable = [rule for rule in active if rule.applies_to(context)]
+    if not applicable:
+        return []
+    for rule in applicable:
+        rule.begin(context)
+    _Dispatcher(context, applicable).visit(tree)
+    for rule in applicable:
+        rule.finish(context)
+    return sorted(context.violations)
+
+
+def lint_file(
+    path: Path, root: Path, rules: Iterable[Rule] | None = None
+) -> list[RuleViolation]:
+    source = path.read_text(encoding="utf-8")
+    display = str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
+    return lint_source(
+        source, path=display, module=module_name_for(path, root), rules=rules
+    )
+
+
+def iter_python_files(targets: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            files.append(target)
+    return [f for f in files if "__pycache__" not in f.parts]
+
+
+def lint_paths(
+    targets: Sequence[Path],
+    root: Path,
+    rules: Iterable[str] | None = None,
+) -> list[RuleViolation]:
+    """Per-file rules over every ``.py`` under the targets.
+
+    ``rules`` filters by code (e.g. ``{"RL001"}``); None runs all
+    per-file rules.  Each file is parsed exactly once.
+    """
+    from .rules import FILE_RULES
+
+    active = [
+        rule
+        for rule in FILE_RULES()
+        if rules is None or rule.code in set(rules)
+    ]
+    violations: list[RuleViolation] = []
+    for path in iter_python_files(targets):
+        violations.extend(lint_file(path, root, rules=active))
+    return sorted(violations)

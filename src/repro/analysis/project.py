@@ -1,0 +1,298 @@
+"""Cross-file reprolint rules: RL003 (spec/engine conformance) and
+RL007 (bench-gate consistency).
+
+Per-file AST visitors cannot see whether a registered engine pair has a
+differential test two directories away, or whether a ``gate_speedup``
+metric name survives the round trip through the committed baseline.
+These checks therefore run over a :class:`ProjectContext` — a snapshot
+of the difftest registry, the identifiers/strings each test file uses,
+the metric names the benchmark suite gates, and the baseline's keys.
+Every field is plain data, so tests construct synthetic contexts
+directly instead of faking a repository.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .core import RuleViolation, iter_python_files
+
+__all__ = [
+    "PairRecord",
+    "ProjectContext",
+    "TestEvidence",
+    "run_project_rules",
+]
+
+PAIRS_PATH = "src/repro/difftest/pairs.py"
+BASELINE_PATH = "benchmarks/bench_baseline.json"
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """One registration, reduced to what the cross-file rules need."""
+
+    subsystem: str
+    spec_symbol: str
+    engine_symbol: str
+    choices: tuple[str, ...]  # canonical choice strings
+    gate: str | None
+    line: int  # registration call's line in PAIRS_PATH
+
+
+@dataclass(frozen=True)
+class TestEvidence:
+    """Identifiers and string literals one test file touches."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    path: str
+    identifiers: frozenset[str]
+    strings: frozenset[str]
+
+    def names_both(self, spec_symbol: str, engine_symbol: str) -> bool:
+        return {spec_symbol, engine_symbol} <= self.identifiers
+
+    def exercises_choices(self, engine_symbol: str, choices: Iterable[str]) -> bool:
+        return engine_symbol in self.identifiers and set(choices) <= self.strings
+
+
+@dataclass
+class ProjectContext:
+    pairs: tuple[PairRecord, ...]
+    tests: tuple[TestEvidence, ...]
+    gated_keys: Mapping[str, int]  # baseline key -> line in BASELINE_PATH
+    #: gate_speedup("name", ...) call sites: name -> (path, line)
+    gate_calls: Mapping[str, tuple[str, int]]
+    pairs_path: str = PAIRS_PATH
+    baseline_path: str = BASELINE_PATH
+    errors: list[RuleViolation] = field(default_factory=list)
+
+    @classmethod
+    def from_repo(cls, root: Path) -> "ProjectContext":
+        root = Path(root)
+        errors: list[RuleViolation] = []
+        return cls(
+            pairs=_load_pairs(root, errors),
+            tests=tuple(
+                _test_evidence(path, root)
+                for path in iter_python_files([root / "tests"])
+            ),
+            gated_keys=_baseline_gated_keys(root, errors),
+            gate_calls=_gate_speedup_calls(root),
+            errors=errors,
+        )
+
+
+def _registration_lines(root: Path) -> dict[str, int]:
+    """subsystem -> line of its ``register_engine_pair`` call."""
+    path = root / PAIRS_PATH
+    lines: dict[str, int] = {}
+    if not path.exists():
+        return lines
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register_engine_pair"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            lines[str(node.args[0].value)] = node.lineno
+    return lines
+
+
+def _load_pairs(root: Path, errors: list[RuleViolation]) -> tuple[PairRecord, ...]:
+    try:
+        from repro.difftest import engine_matrix
+    except Exception as exc:  # registry must import for RL003 to run
+        errors.append(
+            RuleViolation(
+                PAIRS_PATH, 1, "RL000", f"cannot import difftest registry: {exc}"
+            )
+        )
+        return ()
+    lines = _registration_lines(root)
+    return tuple(
+        PairRecord(
+            subsystem=pair.subsystem,
+            spec_symbol=pair.spec_symbol or pair.spec.rsplit(".", 1)[-1],
+            engine_symbol=pair.engine_symbol or pair.engine.rsplit(".", 1)[-1],
+            choices=tuple(pair.canonical(c) for c in pair.implementations),
+            gate=pair.gate,
+            line=lines.get(pair.subsystem, 1),
+        )
+        for pair in engine_matrix()
+    )
+
+
+def _test_evidence(path: Path, root: Path) -> TestEvidence:
+    display = str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
+    identifiers: set[str] = set()
+    strings: set[str] = set()
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=display)
+    except SyntaxError:
+        return TestEvidence(display, frozenset(), frozenset())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            identifiers.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            identifiers.add(node.attr)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            identifiers.add(node.name)
+        elif isinstance(node, ast.alias):
+            identifiers.add(node.name.rsplit(".", 1)[-1])
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            strings.add(node.value)
+    return TestEvidence(display, frozenset(identifiers), frozenset(strings))
+
+
+def _baseline_gated_keys(
+    root: Path, errors: list[RuleViolation]
+) -> dict[str, int]:
+    path = root / BASELINE_PATH
+    if not path.exists():
+        errors.append(RuleViolation(BASELINE_PATH, 1, "RL000", "baseline missing"))
+        return {}
+    text = path.read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        errors.append(
+            RuleViolation(BASELINE_PATH, exc.lineno, "RL000", f"bad JSON: {exc.msg}")
+        )
+        return {}
+    keys: dict[str, int] = {}
+    lines = text.splitlines()
+    for key in data.get("gated", {}):
+        needle = f'"{key}"'
+        keys[key] = next(
+            (i for i, line in enumerate(lines, start=1) if needle in line), 1
+        )
+    return keys
+
+
+def _gate_speedup_calls(root: Path) -> dict[str, tuple[str, int]]:
+    calls: dict[str, tuple[str, int]] = {}
+    for path in iter_python_files([root / "benchmarks"]):
+        display = (
+            str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
+        )
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=display)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and (
+                    (isinstance(node.func, ast.Name) and node.func.id == "gate_speedup")
+                    or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "gate_speedup"
+                    )
+                )
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                calls[node.args[0].value] = (display, node.lineno)
+    return calls
+
+
+def run_project_rules(
+    project: ProjectContext, rules: Iterable[str] | None = None
+) -> list[RuleViolation]:
+    """RL003 + RL007 over a project snapshot; ``rules`` filters by code."""
+    wanted = None if rules is None else set(rules)
+    violations = list(project.errors)
+    if wanted is None or "RL003" in wanted:
+        violations.extend(_check_conformance(project))
+    if wanted is None or "RL007" in wanted:
+        violations.extend(_check_gate_roundtrip(project))
+    return sorted(violations)
+
+
+def _check_conformance(project: ProjectContext) -> list[RuleViolation]:
+    """RL003: every pair has a differential test and a gated metric, and
+    every gated baseline key is alive (a pair gate or a recorded bench)."""
+    violations: list[RuleViolation] = []
+    for pair in project.pairs:
+        covered = any(
+            evidence.names_both(pair.spec_symbol, pair.engine_symbol)
+            or evidence.exercises_choices(pair.engine_symbol, pair.choices)
+            for evidence in project.tests
+        )
+        if not covered:
+            violations.append(
+                RuleViolation(
+                    project.pairs_path,
+                    pair.line,
+                    "RL003",
+                    f"engine pair {pair.subsystem!r} has no differential "
+                    f"test: no tests/ file references both "
+                    f"{pair.spec_symbol!r} and {pair.engine_symbol!r} (or "
+                    f"exercises every choice of {pair.engine_symbol!r})",
+                )
+            )
+        if pair.gate is None:
+            violations.append(
+                RuleViolation(
+                    project.pairs_path,
+                    pair.line,
+                    "RL003",
+                    f"engine pair {pair.subsystem!r} declares no CI gate "
+                    "metric (gate=None): regressions would land silently",
+                )
+            )
+        elif pair.gate not in project.gated_keys:
+            violations.append(
+                RuleViolation(
+                    project.pairs_path,
+                    pair.line,
+                    "RL003",
+                    f"engine pair {pair.subsystem!r} gates on "
+                    f"{pair.gate!r} but {project.baseline_path} has no such "
+                    "gated key: the speedup is never CI-checked",
+                )
+            )
+    alive = {pair.gate for pair in project.pairs if pair.gate}
+    alive.update(f"{name}_speedup" for name in project.gate_calls)
+    for key, line in sorted(project.gated_keys.items()):
+        if key not in alive:
+            violations.append(
+                RuleViolation(
+                    project.baseline_path,
+                    line,
+                    "RL003",
+                    f"dead baseline key {key!r}: no registered pair or "
+                    "gate_speedup call records it, so the gate can never "
+                    "trip",
+                )
+            )
+    return violations
+
+
+def _check_gate_roundtrip(project: ProjectContext) -> list[RuleViolation]:
+    """RL007: each ``gate_speedup`` metric name appears in the baseline."""
+    violations: list[RuleViolation] = []
+    for name, (path, line) in sorted(project.gate_calls.items()):
+        key = f"{name}_speedup"
+        if key not in project.gated_keys:
+            violations.append(
+                RuleViolation(
+                    path,
+                    line,
+                    "RL007",
+                    f"gate_speedup({name!r}) records {key!r} but "
+                    f"{project.baseline_path} never gates it: the bench "
+                    "runs without a regression floor",
+                )
+            )
+    return violations

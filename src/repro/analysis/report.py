@@ -1,0 +1,79 @@
+"""Violation renderers: human terminal lines, machine JSON, and GitHub
+workflow-command output with a step-summary markdown table (the same
+``$GITHUB_STEP_SUMMARY`` convention ``check_bench_regression.py`` uses).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .core import RuleViolation
+
+__all__ = [
+    "render_github",
+    "render_human",
+    "render_json",
+    "step_summary_table",
+]
+
+
+def render_human(violations: Sequence[RuleViolation]) -> str:
+    if not violations:
+        return "reprolint: clean"
+    lines = [
+        f"{v.location()}: {v.rule} {v.message}" for v in violations
+    ]
+    counts = Counter(v.rule for v in violations)
+    tally = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    plural = "s" if len(violations) != 1 else ""
+    lines.append(f"reprolint: {len(violations)} violation{plural} ({tally})")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[RuleViolation]) -> str:
+    payload = {
+        "clean": not violations,
+        "count": len(violations),
+        "by_rule": dict(sorted(Counter(v.rule for v in violations).items())),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_github(violations: Sequence[RuleViolation]) -> str:
+    """``::error`` workflow commands — one annotation per violation, so
+    findings surface inline on the PR diff."""
+    if not violations:
+        return "reprolint: clean"
+    return "\n".join(
+        f"::error file={v.path},line={v.line},title=reprolint {v.rule}::{v.message}"
+        for v in violations
+    )
+
+
+def step_summary_table(violations: Sequence[RuleViolation]) -> str:
+    """Markdown for ``$GITHUB_STEP_SUMMARY`` (mirrors the bench gate's)."""
+    lines = ["## reprolint", ""]
+    if not violations:
+        lines.append("No violations — all enforced invariants hold.")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "| location | rule | message |",
+        "| --- | --- | --- |",
+    ]
+    for v in violations:
+        message = v.message.replace("|", "\\|")
+        lines.append(f"| `{v.location()}` | {v.rule} | {message} |")
+    plural = "s" if len(violations) != 1 else ""
+    lines += ["", f"**{len(violations)} violation{plural}.**"]
+    return "\n".join(lines) + "\n"

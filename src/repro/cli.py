@@ -205,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "claims", help="check the paper's quantitative claims against the code"
     )
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint, the repo's AST invariant analyzer"
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -639,6 +646,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_export(args.out, args.seed)
     if args.command == "claims":
         return _cmd_claims()
+    if args.command == "lint":
+        from .analysis.cli import run_lint
+
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -115,6 +115,14 @@ class ClusterConfig:
             raise ValueError("need at least one rack")
         if self.rack_bandwidth is not None and self.rack_bandwidth <= 0:
             raise ValueError("rack bandwidth must be positive when set")
+        rates = (
+            self.xor_decode_rate,
+            self.rs_decode_rate,
+            self.encode_rate,
+            self.wordcount_rate,
+        )
+        if min(rates) <= 0:
+            raise ValueError("compute rates must be positive")
         validate_engine_choice("network", self.network_engine)
         validate_engine_choice("scrubber", self.scrubber_engine)
         validate_engine_choice("decommission", self.decommission_engine)

@@ -315,7 +315,11 @@ class FlowTable:
         self._active[m : self._n] = False
         self._n = m
         index: dict[int, list[int]] = {}
-        for row in range(m):
+        # Rebuilding the node->rows index after compaction is O(F) on a
+        # ragged dict-of-lists; it runs once per compaction (not per
+        # tick) and numpy offers no grouped-append, so the scalar loop
+        # stays.
+        for row in range(m):  # reprolint: disable=RL002
             index.setdefault(int(self._src[row]), []).append(row)
             if self._dst[row] != self._src[row]:
                 index.setdefault(int(self._dst[row]), []).append(row)

@@ -91,12 +91,15 @@ def min_cut_over_collectors(
     d: int,
     sample: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> float:
     """Minimum cut over data collectors of in-degree n - d + 1.
 
     There are C(n, n-d+1) collectors; ``sample`` bounds how many are
     checked (None = exhaustive).  Exploiting group symmetry would shrink
     the space, but exhaustive checks are tractable for stripe-sized codes.
+    Sampling draws from ``rng`` when given, else from ``seed`` — so a
+    caller varying the seed gets fresh collector subsets reproducibly.
     """
     _check_parameters(k, n, r)
     if not 1 <= d <= n:
@@ -107,7 +110,7 @@ def min_cut_over_collectors(
     total = math.comb(n, degree)
     if sample is not None and sample < total:
         if rng is None:
-            rng = np.random.default_rng(0)
+            rng = np.random.default_rng(seed)
         pool = list(collectors)
         picks = rng.choice(len(pool), size=sample, replace=False)
         collectors = (pool[i] for i in picks)
@@ -126,20 +129,24 @@ def distance_feasible(
     d: int,
     sample: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> bool:
     """Lemma 2 check: d is feasible iff every sampled DC min-cut >= M (= k).
 
     For d within Theorem 2's bound this returns True; for d one beyond the
     bound it returns False — the pair of facts the tests assert.
     """
-    return min_cut_over_collectors(k, n, r, d, sample=sample, rng=rng) >= k - 1e-9
+    cut = min_cut_over_collectors(k, n, r, d, sample=sample, rng=rng, seed=seed)
+    return cut >= k - 1e-9
 
 
-def max_feasible_distance(k: int, n: int, r: int, sample: int | None = None) -> int:
+def max_feasible_distance(
+    k: int, n: int, r: int, sample: int | None = None, seed: int = 0
+) -> int:
     """Largest d the flow graph supports; equals Theorem 2's bound."""
     best = 0
     for d in range(1, n - k + 2):
-        if distance_feasible(k, n, r, d, sample=sample):
+        if distance_feasible(k, n, r, d, sample=sample, seed=seed):
             best = d
         else:
             break

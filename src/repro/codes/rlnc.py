@@ -55,17 +55,21 @@ def random_lrc(
     field: GF | None = None,
     rng: np.random.Generator | None = None,
     max_attempts: int = 64,
+    seed: int = 0,
 ) -> LocallyRepairableCode:
     """Sample a (k, n-k, r) LRC achieving the Theorem 2 distance bound.
 
-    Raises RuntimeError after ``max_attempts`` failed draws, which (per
+    Generator draws come from ``rng`` when given, else from ``seed``:
+    the construction is reproducible from a config-level seed without
+    baking a hidden constant into the sampling path.  Raises
+    RuntimeError after ``max_attempts`` failed draws, which (per
     Lemma 3) signals the field is too small for the target parameters —
     the error message reports the Theorem 4 field-size requirement.
     """
     if field is None:
         field = GF256
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(seed)
     target_distance = lrc_distance(n, k, r)
     if target_distance < 2:
         raise ValueError(

@@ -28,8 +28,8 @@ register_engine_pair(
 
 register_engine_pair(
     "codec",
-    spec="repro.codes.base",
-    engine="repro.codes.engine",
+    spec="repro.codes.base.ErasureCode.decode",
+    engine="repro.codes.engine.CodecEngine",
     config_field=None,  # per-call: scalar decode vs code.engine
     gate="codec_engine_speedup",
 )

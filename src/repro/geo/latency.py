@@ -69,17 +69,26 @@ def read_latency_profile(
     client_site: str,
     block_size_bytes: float = 256e6,
     local_bandwidth: float = 1e9,  # intra-site, bytes/second
-    wan_rtt: float = DEFAULT_WAN_RTT,
+    wan_rtt: float | None = None,
 ) -> ReadLatencyProfile:
     """Expected latency of a uniform random data-block read.
 
     Local reads cost the intra-site transfer; remote reads add the WAN
-    round trip and stream over the (slower) WAN link.  Uniform access
-    over data blocks is the pessimistic assumption — real geo tenants
-    place working sets with their clients, which only widens the gap in
-    the LRC layout's favour.
+    round trip (the topology's ``wan_rtt`` unless overridden here) and
+    stream over the (slower) WAN link.  Uniform access over data blocks
+    is the pessimistic assumption — real geo tenants place working sets
+    with their clients, which only widens the gap in the LRC layout's
+    favour.
     """
     topology.site(client_site)  # validate
+    if wan_rtt is None:
+        wan_rtt = getattr(topology, "wan_rtt", DEFAULT_WAN_RTT)
+    if block_size_bytes <= 0:
+        raise ValueError("block_size_bytes must be positive")
+    if local_bandwidth <= 0:
+        raise ValueError("local_bandwidth must be positive")
+    if wan_rtt <= 0:
+        raise ValueError("wan_rtt must be positive")
     local_fraction = data_locality_fraction(placement, client_site)
     local_latency = block_size_bytes / local_bandwidth
     # Remote latency: RTT + transfer over the slowest WAN hop in use.

@@ -47,10 +47,14 @@ class WanLink:
     cost_per_byte: float  # dollars/byte
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "WanLink":
         if self.bandwidth <= 0:
             raise ValueError("WAN bandwidth must be positive")
         if self.cost_per_byte < 0:
             raise ValueError("WAN cost must be non-negative")
+        return self
 
 
 @dataclass(frozen=True)
@@ -66,13 +70,28 @@ class GeoTopology:
     wan_bandwidth: float = 1 * GBPS
     wan_cost_per_byte: float = 0.02 / GB  # typical inter-region egress
     link_overrides: dict = field(default_factory=dict)
+    wan_rtt: float = 0.070  # inter-region round trip, seconds
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "GeoTopology":
         if len(self.datacenters) < 2:
             raise ValueError("geo topologies need at least two sites")
         names = [dc.name for dc in self.datacenters]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate data center names in {names}")
+        if self.wan_bandwidth <= 0:
+            raise ValueError("WAN bandwidth must be positive")
+        if self.wan_cost_per_byte < 0:
+            raise ValueError("WAN cost must be non-negative")
+        if self.wan_rtt <= 0:
+            raise ValueError("WAN round-trip time must be positive")
+        for pair, link in self.link_overrides.items():
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise ValueError(f"link override key {pair!r} is not a (src, dst)")
+            link.validate()
+        return self
 
     @property
     def num_sites(self) -> int:

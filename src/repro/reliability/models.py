@@ -57,6 +57,34 @@ class ClusterReliabilityParameters:
     cross_rack_bandwidth: float = 1 * GBPS  # repair bandwidth gamma
     repair_epoch_seconds: float = 0.0  # fixed per-repair latency (detection etc.)
 
+    def validate(self) -> "ClusterReliabilityParameters":
+        """Reject degenerate clusters before they divide the math."""
+        if self.nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {self.nodes}")
+        if self.total_data_bytes <= 0:
+            raise ValueError(
+                f"total_data_bytes must be positive, got {self.total_data_bytes}"
+            )
+        if self.block_size_bytes <= 0:
+            raise ValueError(
+                f"block_size_bytes must be positive, got {self.block_size_bytes}"
+            )
+        if self.node_mttf_seconds <= 0:
+            raise ValueError(
+                f"node_mttf_seconds must be positive, got {self.node_mttf_seconds}"
+            )
+        if self.cross_rack_bandwidth <= 0:
+            raise ValueError(
+                "cross_rack_bandwidth must be positive, got "
+                f"{self.cross_rack_bandwidth}"
+            )
+        if self.repair_epoch_seconds < 0:
+            raise ValueError(
+                "repair_epoch_seconds must be non-negative, got "
+                f"{self.repair_epoch_seconds}"
+            )
+        return self
+
     @property
     def node_failure_rate(self) -> float:
         return 1.0 / self.node_mttf_seconds
@@ -113,6 +141,7 @@ def build_chain(
     code: ErasureCode, params: ClusterReliabilityParameters
 ) -> BirthDeathChain:
     """Assemble the stripe-level birth-death chain for a scheme."""
+    params.validate()
     tolerated = _tolerated_failures(code)
     lam = params.node_failure_rate
     failure_rates = tuple((code.n - i) * lam for i in range(tolerated + 1))
@@ -156,14 +185,19 @@ def simulate_scheme_mttdl(
     trials: int = 4000,
     rng: np.random.Generator | None = None,
     name: str | None = None,
+    seed: int = 0,
 ) -> SchemeSimulation:
-    """Monte-Carlo check of a scheme's chain via the batched engine."""
+    """Monte-Carlo check of a scheme's chain via the batched engine.
+
+    Trajectories draw from ``rng`` when given, else from ``seed``, so
+    sweeps can vary the seed without constructing generators by hand.
+    """
     from .montecarlo import compress_chain, estimate_mttdl
 
     chain = compress_chain(build_chain(code, params), repair_scale)
     estimate = estimate_mttdl(
         chain,
-        rng if rng is not None else np.random.default_rng(0),
+        rng if rng is not None else np.random.default_rng(seed),
         trials=trials,
     )
     return SchemeSimulation(

@@ -161,17 +161,19 @@ def estimate_mttdl(
     trials: int = 400,
     start: int = 0,
     method: str = "batched",
+    seed: int = 0,
 ) -> AbsorptionEstimate:
     """Empirical MTTDL of a stripe chain over independent trajectories.
 
     ``method="batched"`` (the default) advances all trajectories
     simultaneously; ``method="loop"`` runs the reference one-at-a-time
     engine.  The two draw different variates from the same ``rng`` but
-    sample the identical distribution.
+    sample the identical distribution.  Pass ``rng`` to share a stream,
+    or ``seed`` to derive a fresh one reproducibly.
     """
     if trials < 2:
         raise ValueError("need at least two trials for a standard error")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     if method == "batched":
         times = simulate_times_to_absorption(chain, rng, trials, start=start)
     elif method == "loop":

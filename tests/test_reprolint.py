@@ -1,0 +1,564 @@
+"""reprolint's contract: each rule catches its violation, passes clean
+code, and honours pragmas; the project rules cross-check the registry;
+and — the point of the exercise — the repository itself lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    FILE_RULES,
+    RULE_DESCRIPTIONS,
+    lint_repo,
+    lint_source,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.project import (
+    PairRecord,
+    ProjectContext,
+    TestEvidence,
+    run_project_rules,
+)
+from repro.analysis.report import (
+    render_github,
+    render_human,
+    render_json,
+    step_summary_table,
+)
+from repro.analysis.rules import (
+    ConfigValidationRule,
+    EnginePurityRule,
+    FloatDeterminismRule,
+    NanConventionRule,
+    RngDisciplineRule,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def codes(violations):
+    return [v.rule for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# RL001: RNG discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRngDiscipline:
+    def lint(self, source, module="repro.codes.fake"):
+        return lint_source(source, module=module, rules=[RngDisciplineRule()])
+
+    def test_violating_literal_seed(self):
+        found = self.lint("import numpy as np\nrng = np.random.default_rng(0)\n")
+        assert codes(found) == ["RL001"]
+        assert found[0].line == 2
+
+    def test_violating_seedless(self):
+        found = self.lint("import numpy as np\nrng = np.random.default_rng()\n")
+        assert codes(found) == ["RL001"]
+
+    def test_violating_stdlib_random(self):
+        found = self.lint("import random\nx = random.randint(0, 10)\n")
+        assert codes(found) == ["RL001"]
+
+    def test_violating_legacy_numpy_global(self):
+        found = self.lint("import numpy as np\nx = np.random.uniform()\n")
+        assert codes(found) == ["RL001"]
+
+    def test_clean_threaded_seed(self):
+        clean = (
+            "import numpy as np\n"
+            "def f(seed: int):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert self.lint(clean) == []
+
+    def test_clean_outside_repro(self):
+        noisy = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert self.lint(noisy, module="") == []
+
+    def test_pragma_suppressed(self):
+        suppressed = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # reprolint: disable=RL001\n"
+        )
+        assert self.lint(suppressed) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002: engine purity
+# ---------------------------------------------------------------------------
+
+FAKE_ENGINES = {"repro.cluster.fake": frozenset({"FakeEngine"})}
+
+
+class TestEnginePurity:
+    def lint(self, source):
+        rule = EnginePurityRule(engine_symbols=FAKE_ENGINES)
+        return lint_source(source, module="repro.cluster.fake", rules=[rule])
+
+    VIOLATING = (
+        "class FakeEngine:\n"
+        "    def tick(self, xs, ys):\n"
+        "        for i in range(len(xs)):\n"
+        "            ys[i] = xs[i] + 1\n"
+    )
+
+    def test_violating_per_element_loop(self):
+        found = self.lint(self.VIOLATING)
+        assert codes(found) == ["RL002"]
+        assert found[0].line == 3
+
+    def test_clean_vectorized(self):
+        clean = (
+            "class FakeEngine:\n"
+            "    def tick(self, xs, ys):\n"
+            "        ys[:] = xs + 1\n"
+        )
+        assert self.lint(clean) == []
+
+    def test_clean_loop_outside_engine(self):
+        elsewhere = (
+            "def helper(xs, ys):\n"
+            "    for i in range(len(xs)):\n"
+            "        ys[i] = xs[i] + 1\n"
+        )
+        assert self.lint(elsewhere) == []
+
+    def test_clean_non_indexing_loop(self):
+        per_group = (
+            "class FakeEngine:\n"
+            "    def tick(self, groups):\n"
+            "        for _ in range(3):\n"
+            "            groups.refresh()\n"
+        )
+        assert self.lint(per_group) == []
+
+    def test_pragma_suppressed(self):
+        suppressed = self.VIOLATING.replace(
+            "range(len(xs)):", "range(len(xs)):  # reprolint: disable=RL002"
+        )
+        assert self.lint(suppressed) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004: NaN convention
+# ---------------------------------------------------------------------------
+
+
+class TestNanConvention:
+    def lint(self, source):
+        return lint_source(
+            source, module="repro.cluster.fake", rules=[NanConventionRule()]
+        )
+
+    VIOLATING = (
+        "def mean_latency(xs):\n"
+        "    if not xs:\n"
+        "        return 0.0\n"
+        "    return sum(xs) / len(xs)\n"
+    )
+
+    def test_violating_zero_return(self):
+        found = self.lint(self.VIOLATING)
+        assert codes(found) == ["RL004"]
+        assert found[0].line == 3
+
+    def test_violating_len_guard(self):
+        source = (
+            "def repair_fraction(xs):\n"
+            "    if len(xs) == 0:\n"
+            "        return 0\n"
+            "    return 1.0\n"
+        )
+        assert codes(self.lint(source)) == ["RL004"]
+
+    def test_clean_nan_return(self):
+        clean = self.VIOLATING.replace("return 0.0", "return float('nan')")
+        assert self.lint(clean) == []
+
+    def test_clean_non_stats_name(self):
+        counting = (
+            "def pending_jobs(xs):\n"
+            "    if not xs:\n"
+            "        return 0\n"
+            "    return len(xs)\n"
+        )
+        assert self.lint(counting) == []
+
+    def test_pragma_suppressed(self):
+        suppressed = self.VIOLATING.replace(
+            "return 0.0", "return 0.0  # reprolint: disable=RL004"
+        )
+        assert self.lint(suppressed) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005: float-determinism hazards
+# ---------------------------------------------------------------------------
+
+
+class TestFloatDeterminism:
+    def lint(self, source, module="repro.cluster.fake"):
+        return lint_source(source, module=module, rules=[FloatDeterminismRule()])
+
+    VIOLATING = (
+        "def total_load(nodes):\n"
+        "    total = 0.0\n"
+        "    for node in set(nodes):\n"
+        "        total += node.load\n"
+        "    return total\n"
+    )
+
+    def test_violating_direct_set_iteration(self):
+        found = self.lint(self.VIOLATING)
+        assert codes(found) == ["RL005"]
+        assert found[0].line == 3
+
+    def test_violating_named_set(self):
+        source = (
+            "def drain(pending, heap):\n"
+            "    import heapq\n"
+            "    live = set(pending)\n"
+            "    for item in live:\n"
+            "        heapq.heappush(heap, item)\n"
+        )
+        assert codes(self.lint(source)) == ["RL005"]
+
+    def test_clean_sorted_set(self):
+        clean = self.VIOLATING.replace("set(nodes)", "sorted(set(nodes))")
+        assert self.lint(clean) == []
+
+    def test_clean_no_accumulation(self):
+        browsing = (
+            "def names(nodes):\n"
+            "    out = []\n"
+            "    for node in set(nodes):\n"
+            "        out.append(node)\n"
+            "    return sorted(out)\n"
+        )
+        assert self.lint(browsing) == []
+
+    def test_clean_outside_simulation_tiers(self):
+        assert self.lint(self.VIOLATING, module="repro.codes.fake") == []
+
+    def test_pragma_suppressed(self):
+        suppressed = self.VIOLATING.replace(
+            "for node in set(nodes):",
+            "for node in set(nodes):  # reprolint: disable=RL005",
+        )
+        assert self.lint(suppressed) == []
+
+
+# ---------------------------------------------------------------------------
+# RL006: config-validation coverage
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    def lint(self, source):
+        return lint_source(
+            source, module="repro.cluster.fake", rules=[ConfigValidationRule()]
+        )
+
+    VIOLATING = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class FakeConfig:\n"
+        "    scan_rate: float = 1.0\n"
+        "    label: str = 'x'\n"
+        "    def validate(self):\n"
+        "        if not self.label:\n"
+        "            raise ValueError('label')\n"
+        "        return self\n"
+    )
+
+    def test_violating_uncovered_field(self):
+        found = self.lint(self.VIOLATING)
+        assert codes(found) == ["RL006"]
+        assert found[0].line == 4
+
+    def test_violating_missing_validate(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class FakeConfig:\n"
+            "    poll_timeout: float = 3.0\n"
+        )
+        found = self.lint(source)
+        assert codes(found) == ["RL006"]
+        assert "no validate()" in found[0].message
+
+    def test_clean_covered_field(self):
+        clean = self.VIOLATING.replace(
+            "if not self.label:",
+            "if self.scan_rate <= 0:\n            raise ValueError('rate')\n"
+            "        if not self.label:",
+        )
+        assert self.lint(clean) == []
+
+    def test_clean_non_config_class_without_validate(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class SweepResult:\n"
+            "    repair_duration: float = 0.0\n"
+        )
+        assert self.lint(source) == []
+
+    def test_pragma_suppressed(self):
+        suppressed = self.VIOLATING.replace(
+            "scan_rate: float = 1.0",
+            "scan_rate: float = 1.0  # reprolint: disable=RL006",
+        )
+        assert self.lint(suppressed) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 / RL007: project rules over synthetic contexts
+# ---------------------------------------------------------------------------
+
+
+def make_project(**overrides):
+    base = dict(
+        pairs=(
+            PairRecord(
+                subsystem="fake",
+                spec_symbol="fake_seed",
+                engine_symbol="FakeEngine",
+                choices=("seed", "vectorized"),
+                gate="fake_speedup",
+                line=10,
+            ),
+        ),
+        tests=(
+            TestEvidence(
+                path="tests/test_fake.py",
+                identifiers=frozenset({"fake_seed", "FakeEngine"}),
+                strings=frozenset(),
+            ),
+        ),
+        gated_keys={"fake_speedup": 5},
+        gate_calls={"fake": ("benchmarks/bench_fake.py", 20)},
+    )
+    base.update(overrides)
+    return ProjectContext(**base)
+
+
+class TestProjectRules:
+    def test_clean_project(self):
+        assert run_project_rules(make_project()) == []
+
+    def test_missing_differential_test(self):
+        project = make_project(
+            tests=(
+                TestEvidence(
+                    path="tests/test_other.py",
+                    identifiers=frozenset({"FakeEngine"}),
+                    strings=frozenset(),
+                ),
+            )
+        )
+        found = run_project_rules(project)
+        assert codes(found) == ["RL003"]
+        assert "no differential test" in found[0].message
+        assert found[0].line == 10
+
+    def test_choice_string_evidence_counts(self):
+        project = make_project(
+            tests=(
+                TestEvidence(
+                    path="tests/test_fake.py",
+                    identifiers=frozenset({"FakeEngine"}),
+                    strings=frozenset({"seed", "vectorized"}),
+                ),
+            )
+        )
+        assert run_project_rules(project) == []
+
+    def test_missing_gate_key(self):
+        project = make_project(gated_keys={}, gate_calls={})
+        found = run_project_rules(project)
+        assert codes(found) == ["RL003"]
+        assert "no such gated key" in found[0].message
+
+    def test_ungated_pair(self):
+        pair = make_project().pairs[0]
+        project = make_project(
+            pairs=(
+                PairRecord(
+                    subsystem=pair.subsystem,
+                    spec_symbol=pair.spec_symbol,
+                    engine_symbol=pair.engine_symbol,
+                    choices=pair.choices,
+                    gate=None,
+                    line=pair.line,
+                ),
+            ),
+            gated_keys={},
+            gate_calls={},
+        )
+        found = run_project_rules(project)
+        assert codes(found) == ["RL003"]
+        assert "gate=None" in found[0].message
+
+    def test_dead_baseline_key(self):
+        project = make_project(
+            gated_keys={"fake_speedup": 5, "retired_speedup": 9}
+        )
+        found = run_project_rules(project)
+        assert codes(found) == ["RL003"]
+        assert "dead baseline key 'retired_speedup'" in found[0].message
+        assert found[0].line == 9
+
+    def test_rl007_unbaselined_bench(self):
+        project = make_project(
+            gate_calls={
+                "fake": ("benchmarks/bench_fake.py", 20),
+                "orphan": ("benchmarks/bench_orphan.py", 7),
+            }
+        )
+        found = run_project_rules(project)
+        # the orphan gate_speedup also keeps no baseline key alive, but
+        # only RL007 fires: nothing gates it, so nothing is dead either
+        assert codes(found) == ["RL007"]
+        assert found[0].path == "benchmarks/bench_orphan.py"
+        assert found[0].line == 7
+
+    def test_rule_filter(self):
+        project = make_project(gate_calls={"orphan": ("b.py", 1)})
+        assert run_project_rules(project, rules={"RL003"}) == []
+        assert codes(run_project_rules(project, rules={"RL007"})) == ["RL007"]
+
+
+# ---------------------------------------------------------------------------
+# Self-application: the repository obeys its own invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSelfApplication:
+    def test_repo_is_clean(self):
+        violations = lint_repo(root=ROOT)
+        assert violations == [], "\n".join(
+            f"{v.location()}: {v.rule} {v.message}" for v in violations
+        )
+
+    def test_rl003_covers_all_ten_pairs(self):
+        project = ProjectContext.from_repo(ROOT)
+        assert len(project.pairs) == 10
+        subsystems = {pair.subsystem for pair in project.pairs}
+        assert subsystems == {
+            "montecarlo", "codec", "xorplane", "blockindex", "network",
+            "readservice", "scrubber", "decommission", "mapreduce",
+            "raidnode",
+        }
+        for pair in project.pairs:
+            assert pair.line > 1, pair  # anchored to its registration
+            assert pair.gate in project.gated_keys, pair
+        assert run_project_rules(project) == []
+
+    def test_every_rule_documented(self):
+        assert set(RULE_DESCRIPTIONS) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        }
+        file_rule_codes = {rule.code for rule in FILE_RULES()}
+        assert file_rule_codes == {"RL001", "RL002", "RL004", "RL005", "RL006"}
+
+    def test_syntax_error_reported_not_raised(self):
+        found = lint_source("def broken(:\n", module="repro.fake")
+        assert codes(found) == ["RL000"]
+
+
+# ---------------------------------------------------------------------------
+# CLI and renderers
+# ---------------------------------------------------------------------------
+
+
+class TestCliAndRendering:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert lint_main(["--root", str(ROOT)]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(7)\n")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        assert lint_main([str(bad), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2: RL001" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--root", str(ROOT), "--rules", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main(["no/such/dir", "--root", str(ROOT)]) == 2
+        assert "no such path" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nrandom.seed(1)\n")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        assert lint_main([str(bad), "--root", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["by_rule"] == {"RL001": 1}
+        assert payload["violations"][0]["line"] == 2
+
+    def test_github_format_and_step_summary(self, tmp_path, capsys, monkeypatch):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        code = lint_main([str(bad), "--root", str(tmp_path), "--format", "github"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "RL001" in out
+        table = summary.read_text()
+        assert "## reprolint" in table and "RL001" in table
+
+    def test_renderers_on_empty(self):
+        assert render_human([]) == "reprolint: clean"
+        assert json.loads(render_json([]))["clean"] is True
+        assert render_github([]) == "reprolint: clean"
+        assert "No violations" in step_summary_table([])
+
+    def test_rules_filter_scopes_run(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(3)\n")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        args = [str(bad), "--root", str(tmp_path), "--rules", "RL004"]
+        assert lint_main(args) == 0
+
+
+class TestPragmas:
+    def test_disable_all(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # reprolint: disable=all\n"
+        )
+        assert lint_source(source, module="repro.fake") == []
+
+    def test_multiline_statement_end_line_pragma(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            "    0\n"
+            ")  # reprolint: disable=RL001\n"
+        )
+        assert lint_source(source, module="repro.fake") == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # reprolint: disable=RL004\n"
+        )
+        assert codes(lint_source(source, module="repro.fake")) == ["RL001"]

@@ -27,7 +27,7 @@ from repro.codes import (
     xor_encode,
     xorbas_lrc,
 )
-from repro.codes.xorplane import GATHER_PASS_COST, WORD_OP_COST
+from repro.codes.xorplane import GATHER_PASS_COST, WORD_OP_COST, XorSchedule
 from repro.galois import (
     GF16,
     GF256,
@@ -209,6 +209,7 @@ class TestScheduleMatchesGatherKernel:
         rng = np.random.default_rng(29)
         data3d = code.field.random_elements(rng, (5, code.k, WIDTH))
         schedule = compile_xor_schedule(code.field, code.generator.T)
+        assert isinstance(schedule, XorSchedule)
         coded = schedule.apply(data3d)
         for s in range(data3d.shape[0]):
             assert np.array_equal(coded[s], xor_encode(code, data3d[s])), s
