@@ -1,0 +1,71 @@
+"""The checkpoint-resume recovery plane performance gate.
+
+Checkpoints exist so a crashed experiment does not pay for its completed
+epochs twice.  This bench states that as a gated ratio: with every
+epoch's snapshot on disk, resuming a failure-schedule run at its final
+epoch boundary and finishing must beat re-running the whole schedule
+from scratch — while producing element-identical results, which is the
+kill-resume equivalence contract (``repro.recovery.equivalence``)
+applied to the performance path.
+
+The gate (``recovery_resume_speedup``): a six-event schedule over a
+40-file LRC cluster resumes >= 2.5x faster than it reruns.  The margin
+is deliberately conservative — the resumed run still rebuilds the
+cluster deterministically (stripes, payloads, placement) before
+overlaying the snapshot, so the speedup measures only the skipped
+warmup and the five already-completed failure epochs.
+"""
+
+import tempfile
+
+from repro.cluster import ec2_config
+from repro.codes import xorbas_lrc
+from repro.difftest import gate_speedup
+from repro.experiments.runner import run_failure_schedule
+from repro.recovery import CheckpointPolicy, CheckpointStore
+from repro.recovery.equivalence import assert_runs_equivalent
+
+from conftest import record_metric, write_report
+
+NUM_FILES = 40
+NUM_NODES = 20
+PATTERN = (1, 1, 2, 1, 2, 1)
+SEED = 5
+EVENT_GAP = 120.0
+
+
+def _run(checkpoint=None, resume=False):
+    return run_failure_schedule(
+        "HDFS-Xorbas",
+        xorbas_lrc(),
+        ec2_config(num_nodes=NUM_NODES),
+        [640e6] * NUM_FILES,
+        PATTERN,
+        seed=SEED,
+        event_gap=EVENT_GAP,
+        checkpoint=checkpoint,
+        resume=resume,
+    ).summary()
+
+
+def test_resume_beats_full_rerun_with_identical_results():
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as scratch:
+        policy = CheckpointPolicy(
+            CheckpointStore(scratch), interval_epochs=1, keep=len(PATTERN)
+        )
+        _run(checkpoint=policy)  # populate every epoch's snapshot
+        record = gate_speedup(
+            "recovery_resume",
+            spec_fn=_run,
+            engine_fn=lambda: _run(checkpoint=policy, resume=True),
+            floor=2.5,
+            repeat=3,
+            compare=assert_runs_equivalent,
+            metrics=record_metric,
+            report=lambda line: write_report("recovery.txt", line),
+        )
+    print(
+        f"\n{NUM_FILES} files, {len(PATTERN)} epochs: rerun "
+        f"{record.spec_seconds:.3f}s, resume {record.engine_seconds:.3f}s "
+        f"-> {record.speedup:.1f}x"
+    )

@@ -1,4 +1,4 @@
-"""The per-file reprolint rules (RL001, RL002, RL004, RL005, RL006).
+"""The per-file reprolint rules (RL001, RL002, RL004, RL005, RL006, RL008).
 
 Each rule encodes one determinism or conformance contract the repo
 learned the hard way (DESIGN.md "Enforced invariants" names the PR or
@@ -47,6 +47,11 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "RL007": (
         "bench-gate consistency: every gate_speedup metric name round-trips "
         "through bench_baseline.json (schema 2)"
+    ),
+    "RL008": (
+        "exception hygiene: no bare except: and no except Exception/"
+        "BaseException that silently passes in src/repro; catch the "
+        "narrow type or handle (log, quarantine, re-raise)"
     ),
 }
 
@@ -521,6 +526,85 @@ class ConfigValidationRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------------
+# RL008: exception hygiene
+# --------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _broad_exception_names(annotation: ast.expr) -> list[str]:
+    """Exception/BaseException names caught by a handler's type clause."""
+    candidates = (
+        annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    )
+    names = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_EXCEPTIONS:
+            names.append(candidate.id)
+        elif (
+            isinstance(candidate, ast.Attribute)
+            and candidate.attr in _BROAD_EXCEPTIONS
+        ):
+            names.append(candidate.attr)
+    return names
+
+
+def _body_only_swallows(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing: only pass/... statements."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is ...
+        ):
+            continue
+        return False
+    return True
+
+
+class ExceptionHygieneRule(Rule):
+    """RL008: broad exception swallowing hides crash-safety bugs.
+
+    The recovery plane's whole contract is that failures are *detected*
+    — a checksum mismatch, a truncated pickle, a crashed worker — and
+    routed to an explicit fallback.  A bare ``except:`` (which also eats
+    ``KeyboardInterrupt``/``SystemExit``) or an ``except Exception:
+    pass`` turns any such failure into silent state divergence, so
+    inside ``src/repro`` both are flagged: bare handlers always, broad
+    handlers when their body does nothing but pass.  Handlers that act
+    (quarantine, record, re-raise) and narrow types (``except OSError:
+    pass`` on best-effort cleanup) are fine.
+    """
+
+    code = "RL008"
+    description = RULE_DESCRIPTIONS["RL008"]
+
+    def applies_to(self, context: LintContext) -> bool:
+        return _in_src_repro(context)
+
+    def visit_ExceptHandler(self, context: LintContext, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            context.report(
+                self.code,
+                node,
+                "bare except: catches KeyboardInterrupt/SystemExit too; "
+                "name the exception type(s) you mean to handle",
+            )
+            return
+        broad = _broad_exception_names(node.type)
+        if broad and _body_only_swallows(node.body):
+            context.report(
+                self.code,
+                node,
+                f"except {broad[0]}: pass silently swallows every error; "
+                "catch the narrow type or handle it (log, quarantine, "
+                "re-raise)",
+            )
+
+
 def FILE_RULES() -> list[Rule]:
     """Fresh instances of every per-file rule (they carry no state, but
     fresh construction keeps fixture tests isolated)."""
@@ -530,4 +614,5 @@ def FILE_RULES() -> list[Rule]:
         NanConventionRule(),
         FloatDeterminismRule(),
         ConfigValidationRule(),
+        ExceptionHygieneRule(),
     ]

@@ -81,6 +81,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ec2.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "snapshot each scheme run at failure-epoch boundaries into "
+            "this directory (crash-safe: tmp file + fsync + atomic "
+            "rename, checksummed)"
+        ),
+    )
+    ec2.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume each run from its newest valid checkpoint in "
+            "--checkpoint-dir (corrupted snapshots are detected and "
+            "skipped); replays the remaining epochs bit-identically"
+        ),
+    )
+    ec2.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -88,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
             "functions (forces --jobs 1 and skips the cache so the "
             "simulation itself is what gets measured)"
         ),
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded kill/corrupt chaos sweep over the checkpoint-resume "
+            "plane, asserting bit-identical recovery per trial"
+        ),
+    )
+    chaos.add_argument("--trials", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--files", type=int, default=3)
+    chaos.add_argument("--nodes", type=int, default=20)
+    chaos.add_argument(
+        "--full-pattern",
+        action="store_true",
+        help="use the full 8-event EC2 failure pattern (default: 1/2)",
+    )
+    chaos.add_argument(
+        "--out",
+        default="results/chaos_report.json",
+        help="where to write the JSON chaos report",
     )
 
     codec = sub.add_parser(
@@ -255,6 +295,8 @@ def _cmd_ec2(
     blocks: float | None = None,
     profile: bool = False,
     engines: str = "vectorized",
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> int:
     from .experiments import ResultCache, format_table, run_ec2_experiment_parallel
     from .experiments.ec2 import DEFAULT_PAYLOAD_BYTES, ec2_files_for_blocks
@@ -264,6 +306,12 @@ def _cmd_ec2(
     if blocks is not None:
         files = ec2_files_for_blocks(blocks)
         print(f"--blocks {blocks:g}: running {files} one-stripe files")
+    if resume and not checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if checkpoint_dir:
+        verb = "resuming from" if resume else "checkpointing to"
+        print(f"{verb} {checkpoint_dir} at each failure-epoch boundary")
     if profile:
         # Workers would take the interesting frames with them, and a
         # cache hit measures pickle loading: profile one process, fresh.
@@ -283,6 +331,8 @@ def _cmd_ec2(
             cache=cache,
             payload_bytes=payload_bytes,
             engines=engines,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
 
     if profile:
@@ -320,6 +370,51 @@ def _cmd_ec2(
         )
     )
     return 0
+
+
+def _cmd_chaos(
+    trials: int,
+    seed: int,
+    files: int,
+    nodes: int,
+    full_pattern: bool,
+    out: str,
+) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from .cluster import EC2_FAILURE_PATTERN
+    from .recovery.equivalence import run_chaos_sweep
+
+    pattern = EC2_FAILURE_PATTERN if full_pattern else (1, 2)
+    print(
+        f"Chaos sweep: {trials} trial(s), {files} files, {nodes} slaves, "
+        f"pattern {pattern}, base seed {seed} ..."
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        report = run_chaos_sweep(
+            scratch,
+            trials=trials,
+            base_seed=seed,
+            num_files=files,
+            num_nodes=nodes,
+            pattern=pattern,
+        )
+    for trial in report["trials"]:
+        status = "ok" if trial["equivalent"] else f"FAIL: {trial['error']}"
+        print(
+            f"  seed {trial['seed']}: kill at epoch {trial['kill_epoch']}, "
+            f"corrupt {trial['corrupt_epochs']} -> {status}"
+        )
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{report['num_equivalent']}/{report['num_trials']} trial(s) "
+        f"bit-identical after kill + resume; report -> {path}"
+    )
+    return 0 if report["all_equivalent"] else 1
 
 
 def _cmd_codec(stripes: int, payload_bytes: int, seed: int) -> int:
@@ -615,6 +710,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.blocks,
             args.profile,
             args.engines,
+            args.checkpoint_dir,
+            args.resume,
+        )
+    if args.command == "chaos":
+        return _cmd_chaos(
+            args.trials,
+            args.seed,
+            args.files,
+            args.nodes,
+            args.full_pattern,
+            args.out,
         )
     if args.command == "codec":
         return _cmd_codec(args.stripes, args.payload_bytes, args.seed)

@@ -381,6 +381,9 @@ class StripeRepairTask(Task):
 class BlockFixer:
     """Periodic missing-block scanner dispatching repair jobs."""
 
+    #: Stable event name for the scan timer (checkpoint/restore contract).
+    WAKEUP = "blockfixer.tick"
+
     def __init__(self, cluster: "HadoopCluster", interval: float | None = None):
         self.cluster = cluster
         self.interval = (
@@ -403,7 +406,8 @@ class BlockFixer:
         if self._running:
             return
         self._running = True
-        self.cluster.sim.schedule(self.interval, self._tick)
+        self.cluster.sim.register_callback(self.WAKEUP, self._tick)
+        self.cluster.sim.schedule_named(self.interval, self.WAKEUP)
 
     def stop(self) -> None:
         self._running = False
@@ -412,7 +416,31 @@ class BlockFixer:
         if not self._running:
             return
         self.scan()
-        self.cluster.sim.schedule(self.interval, self._tick)
+        self.cluster.sim.schedule_named(self.interval, self.WAKEUP)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Durable daemon state as plain data (see repro.recovery)."""
+        return {
+            "running": self._running,
+            "in_repair": sorted(self.in_repair),
+            "jobs_dispatched": self.jobs_dispatched,
+            "data_loss_blocks": list(self.data_loss_blocks),
+            "payload_batch_groups": self.payload_batch_groups,
+            "payload_batch_stripes": self.payload_batch_stripes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overlay snapshotted state and re-register the named wakeup so
+        the simulation restore can re-bind pending tick events."""
+        self._running = state["running"]
+        self.in_repair = set(state["in_repair"])
+        self.jobs_dispatched = state["jobs_dispatched"]
+        self.data_loss_blocks = list(state["data_loss_blocks"])
+        self.payload_batch_groups = state["payload_batch_groups"]
+        self.payload_batch_stripes = state["payload_batch_stripes"]
+        self.cluster.sim.register_callback(self.WAKEUP, self._tick)
 
     # -- scanning ----------------------------------------------------------------
 

@@ -108,6 +108,44 @@ class BlockIndex:
         self.stored_count = 0
         self.missing_count = 0
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Mutable placement state as plain data (see repro.recovery).
+
+        Only the columns that mutate after registration are captured:
+        the slab layout (sid/pos/kind, stripe table) is a pure function
+        of the deterministic rebuild, so a restore overlays placement and
+        liveness onto a structurally identical index.
+        """
+        rows = self.rows_used
+        return {
+            "rows_used": rows,
+            "node": self.node[:rows].copy(),
+            "missing": self.missing[:rows].copy(),
+            "node_alive": self.node_alive.copy(),
+            "node_decommissioning": self.node_decommissioning.copy(),
+            "node_block_count": self.node_block_count.copy(),
+            "stored_count": self.stored_count,
+            "missing_count": self.missing_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["rows_used"] != self.rows_used:
+            raise ValueError(
+                f"snapshot has {state['rows_used']} rows but the rebuilt "
+                f"index has {self.rows_used}: the cluster was not rebuilt "
+                "from the same (code, config, files, seed)"
+            )
+        rows = self.rows_used
+        self.node[:rows] = state["node"]
+        self.missing[:rows] = state["missing"]
+        self.node_alive[:] = state["node_alive"]
+        self.node_decommissioning[:] = state["node_decommissioning"]
+        self.node_block_count[:] = state["node_block_count"]
+        self.stored_count = state["stored_count"]
+        self.missing_count = state["missing_count"]
+
     # -- growth ---------------------------------------------------------------
 
     def _ensure_capacity(self, rows: int) -> None:

@@ -145,6 +145,61 @@ class FlowTable:
         self.admissions = 0
         self.admissions_coalesced = 0
 
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Persistent fabric state as plain data (see repro.recovery).
+
+        Only callable while no flow is in flight: row storage is all
+        closures and live handles, so snapshots are pinned to quiescent
+        boundaries and capture just the interning tables (whose id
+        assignment depends on admission history), counters, and the
+        settle clock.
+        """
+        if self._active_count:
+            raise RuntimeError(
+                f"cannot snapshot FlowTable with {self._active_count} active "
+                "flows; checkpoints are taken at quiescent boundaries"
+            )
+        return {
+            "node_names": list(self._node_names),
+            "gid_out": list(self._gid_out),
+            "gid_in": list(self._gid_in),
+            "gid_core": self._gid_core,
+            "gid_rackout": dict(self._gid_rackout),
+            "gid_rackin": dict(self._gid_rackin),
+            "res_capacity": self._res_capacity[: self._num_resources].copy(),
+            "num_resources": self._num_resources,
+            "last_time": self._last_time,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "reallocations": self.reallocations,
+            "settles": self.settles,
+            "admissions": self.admissions,
+            "admissions_coalesced": self.admissions_coalesced,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._node_names = list(state["node_names"])
+        self._node_index = {name: i for i, name in enumerate(self._node_names)}
+        self._gid_out = list(state["gid_out"])
+        self._gid_in = list(state["gid_in"])
+        self._gid_core = state["gid_core"]
+        self._gid_rackout = dict(state["gid_rackout"])
+        self._gid_rackin = dict(state["gid_rackin"])
+        num = state["num_resources"]
+        if num > len(self._res_capacity):
+            self._res_capacity = np.zeros(
+                max(num, len(self._res_capacity)), dtype=np.float64
+            )
+        self._res_capacity[:num] = state["res_capacity"]
+        self._num_resources = num
+        self._last_time = state["last_time"]
+        self.cross_rack_bytes = state["cross_rack_bytes"]
+        self.reallocations = state["reallocations"]
+        self.settles = state["settles"]
+        self.admissions = state["admissions"]
+        self.admissions_coalesced = state["admissions_coalesced"]
+
     # -- public API ---------------------------------------------------------
 
     def start_transfer(

@@ -100,6 +100,14 @@ register_engine_pair(
 )
 
 register_engine_pair(
+    "recovery",
+    spec="repro.recovery.equivalence.run_uninterrupted",
+    engine="repro.recovery.equivalence.run_with_kill_resume",
+    config_field=None,  # per-call: run_failure_schedule(checkpoint=, resume=)
+    gate="recovery_resume_speedup",
+)
+
+register_engine_pair(
     "raidnode",
     spec="repro.cluster.raidscan.scan_candidates_seed",
     engine="repro.cluster.raidscan.RaidScanIndex",

@@ -17,6 +17,7 @@ import numpy as np
 from ..codes.lrc import xorbas_lrc
 from ..codes.reed_solomon import rs_10_4
 from ..cluster import EC2_FAILURE_PATTERN, ClusterConfig, ec2_config
+from ..recovery import CheckpointPolicy
 from .parallel import ResultCache, parallel_map
 from .runner import SchemeRun, SchemeRunSummary, run_failure_schedule
 
@@ -140,8 +141,12 @@ def run_scheme_config(config: Mapping[str, Any]) -> SchemeRunSummary:
     """Worker entry point: simulate one scheme configuration.
 
     Module-level so it pickles into ``multiprocessing`` workers; takes
-    and returns only picklable values.
+    and returns only picklable values.  The optional ``"_runtime"`` key
+    carries checkpoint plumbing (``checkpoint_dir``, ``resume``) — the
+    underscore prefix keeps it out of the cache key, so a resumed run
+    lands back under its original hash.
     """
+    runtime = dict(config.get("_runtime") or {})
     code = EC2_SCHEME_CODES[config["scheme"]]()
     engines = config.get("engines", "vectorized")
     cluster_config = ec2_config(num_nodes=config["num_nodes"]).scaled(
@@ -151,6 +156,11 @@ def run_scheme_config(config: Mapping[str, Any]) -> SchemeRunSummary:
         mapreduce_engine=engines,
         raidnode_engine=engines,
     )
+    checkpoint = None
+    if runtime.get("checkpoint_dir"):
+        checkpoint = CheckpointPolicy.from_config(
+            runtime["checkpoint_dir"], cluster_config
+        )
     run = run_failure_schedule(
         config["scheme"],
         code,
@@ -159,6 +169,8 @@ def run_scheme_config(config: Mapping[str, Any]) -> SchemeRunSummary:
         tuple(config["pattern"]),
         seed=config["seed"],
         event_gap=config["event_gap"],
+        checkpoint=checkpoint,
+        resume=bool(runtime.get("resume")) and checkpoint is not None,
     )
     return run.summary()
 
@@ -173,23 +185,40 @@ def run_ec2_experiment_parallel(
     cache: ResultCache | None = None,
     payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
     engines: str = "vectorized",
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> EC2ExperimentSummary:
     """The EC2 experiment via the parallel runner: the two clusters are
     independent simulations, so they fan across workers, and each
-    scheme's result is cached on disk independently."""
+    scheme's result is cached on disk independently.
+
+    With ``checkpoint_dir`` each worker snapshots its cluster at epoch
+    boundaries; ``resume=True`` makes a rerun pick up from the newest
+    valid snapshot instead of starting over.  Both are runtime plumbing
+    (shipped under the ``"_runtime"`` config key) and do not perturb
+    result cache keys.
+    """
     if num_files < 1:
         raise ValueError("need at least one file")
+    runtime = (
+        {"_runtime": {"checkpoint_dir": checkpoint_dir, "resume": resume}}
+        if checkpoint_dir
+        else {}
+    )
     configs = [
-        scheme_config(
-            scheme,
-            num_files=num_files,
-            seed=seed,
-            num_nodes=num_nodes,
-            pattern=pattern,
-            event_gap=event_gap,
-            payload_bytes=payload_bytes,
-            engines=engines,
-        )
+        {
+            **scheme_config(
+                scheme,
+                num_files=num_files,
+                seed=seed,
+                num_nodes=num_nodes,
+                pattern=pattern,
+                event_gap=event_gap,
+                payload_bytes=payload_bytes,
+                engines=engines,
+            ),
+            **runtime,
+        }
         for scheme in ("HDFS-RS", "HDFS-Xorbas")
     ]
     rs, xorbas = parallel_map(

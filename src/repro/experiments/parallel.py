@@ -28,6 +28,9 @@ import os
 import pickle
 import sys
 import tempfile
+import time
+import traceback
+from dataclasses import dataclass
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -35,6 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "ResultCache",
+    "WorkerError",
     "config_hash",
     "default_jobs",
     "parallel_map",
@@ -79,20 +83,38 @@ class ResultCache:
         self.misses = 0
 
     def key_for(self, config: Mapping[str, Any], namespace: str = "") -> str:
-        return f"{namespace}-v{CACHE_FORMAT_VERSION}-{config_hash(config)}"
+        # Underscore-prefixed keys are runtime-only plumbing (checkpoint
+        # directories, resume flags): they never change results, so they
+        # are excluded from the key and a resumed run re-enters the
+        # cache under its original hash.
+        semantic = {
+            key: value
+            for key, value in config.items()
+            if not str(key).startswith("_")
+        }
+        return f"{namespace}-v{CACHE_FORMAT_VERSION}-{config_hash(semantic)}"
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Any | None:
         path = self.path_for(key)
-        # Any failure to load — missing file, truncated or garbled
-        # pickle, classes renamed since the entry was written — reads
-        # as a miss; the entry is re-computed and overwritten.
+        # Any failure to load — truncated or garbled pickle, classes
+        # renamed since the entry was written — reads as a miss.  The
+        # bad file is quarantined under a ``.corrupt`` suffix so the
+        # rewrite cannot race a reader and the evidence survives for
+        # debugging; a plainly absent file is just a miss.
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except Exception:
+            try:
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+            except OSError:
+                pass  # lost a quarantine race; the entry is gone either way
             self.misses += 1
             return None
         self.hits += 1
@@ -130,12 +152,77 @@ class ResultCache:
         return removed
 
 
+class WorkerError(RuntimeError):
+    """A worker crashed after exhausting its retries.
+
+    Carries the failing configuration (so a dead sweep names the exact
+    experiment that sank it), the attempt count, and the worker-side
+    traceback text — the exception object itself may not survive the
+    process boundary, its formatted traceback always does.
+    """
+
+    def __init__(
+        self,
+        config: Mapping[str, Any],
+        attempts: int,
+        cause_repr: str,
+        cause_traceback: str,
+    ):
+        super().__init__(
+            f"worker failed after {attempts} attempt(s) on config "
+            f"{dict(config)!r}: {cause_repr}"
+        )
+        self.config = config
+        self.attempts = attempts
+        self.cause_repr = cause_repr
+        self.cause_traceback = cause_traceback
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """Failure sentinel shipped back from a pool worker (picklable)."""
+
+    config: Mapping[str, Any]
+    attempts: int
+    cause_repr: str
+    cause_traceback: str
+
+
+def _run_with_retries(packed: tuple) -> Any:
+    """Pool target: run the real worker with retry + exponential backoff.
+
+    Module-level (so it pickles under spawn) and exception-free: a
+    crash becomes a :class:`_WorkerFailure` sentinel instead of sinking
+    the whole ``pool.map``, which is what lets one poisoned task
+    degrade a sweep gracefully.
+    """
+    worker, config, retries, backoff = packed
+    attempts = retries + 1
+    for attempt in range(attempts):
+        try:
+            return worker(config)
+        except Exception as exc:
+            if attempt + 1 >= attempts:
+                return _WorkerFailure(
+                    config=config,
+                    attempts=attempts,
+                    cause_repr=repr(exc),
+                    cause_traceback=traceback.format_exc(),
+                )
+            if backoff > 0:
+                time.sleep(backoff * (2**attempt))
+    raise AssertionError("unreachable: every attempt returns or records")
+
+
 def parallel_map(
     worker: Callable[[Mapping[str, Any]], Any],
     configs: Sequence[Mapping[str, Any]],
     jobs: int | None = None,
     cache: ResultCache | None = None,
     namespace: str = "",
+    retries: int = 2,
+    retry_backoff: float = 0.05,
+    on_error: str = "raise",
 ) -> list[Any]:
     """Map ``worker`` over configurations, in order, with cache + fan-out.
 
@@ -144,7 +231,18 @@ def parallel_map(
     is more than one of them), else inline in this process.  Fresh
     results are stored before returning, so a second call — from this
     process or any later one — is pure cache reads.
+
+    A crashing worker is retried ``retries`` times with exponential
+    backoff (``retry_backoff * 2**attempt`` seconds).  Exhausted
+    failures surface as :class:`WorkerError` carrying the failing
+    configuration (``on_error="raise"``, the default) or are
+    quarantined to ``None`` slots so the rest of the sweep survives
+    (``on_error="quarantine"``); quarantined slots are never cached.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', not {on_error!r}")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
     jobs = default_jobs() if jobs is None else max(1, jobs)
     results: list[Any] = [None] * len(configs)
     pending: list[int] = []
@@ -159,7 +257,9 @@ def parallel_map(
                 continue
         pending.append(index)
     if pending:
-        todo = [configs[i] for i in pending]
+        todo = [
+            (worker, configs[i], retries, retry_backoff) for i in pending
+        ]
         if jobs > 1 and len(pending) > 1:
             # fork keeps workers cheap and inherits sys.path (needed for
             # PYTHONPATH=src invocations); it is only safe on Linux —
@@ -170,10 +270,20 @@ def parallel_map(
                 else get_context()
             )
             with context.Pool(processes=min(jobs, len(pending))) as pool:
-                fresh = pool.map(worker, todo)
+                fresh = pool.map(_run_with_retries, todo)
         else:
-            fresh = [worker(config) for config in todo]
+            fresh = [_run_with_retries(packed) for packed in todo]
         for index, value in zip(pending, fresh):
+            if isinstance(value, _WorkerFailure):
+                if on_error == "raise":
+                    raise WorkerError(
+                        value.config,
+                        value.attempts,
+                        value.cause_repr,
+                        value.cause_traceback,
+                    )
+                results[index] = None  # quarantined slot; never cached
+                continue
             results[index] = value
             if cache is not None and keys[index] is not None:
                 cache.put(keys[index], value)

@@ -9,7 +9,7 @@ that procedure against a simulated cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -23,6 +23,8 @@ from ..cluster import (
 )
 from ..cluster.blocks import BlockId
 from ..cluster.metrics import MetricsCollector
+from ..recovery import CheckpointPolicy, FaultPlan, InjectedCrash, restore_run, snapshot_run
+from .parallel import config_hash
 
 __all__ = [
     "SchemeRun",
@@ -30,6 +32,7 @@ __all__ = [
     "build_loaded_cluster",
     "make_schedule_injector",
     "run_failure_schedule",
+    "schedule_run_key",
 ]
 
 
@@ -159,6 +162,38 @@ def run_until_quiescent(
             break
 
 
+def schedule_run_key(
+    scheme: str,
+    config: ClusterConfig,
+    file_sizes: list[float],
+    pattern: tuple[int, ...],
+    seed: int,
+    event_gap: float,
+    warmup: float,
+) -> str:
+    """Stable identity of one schedule run, for checkpoint file naming.
+
+    Checkpoint policy knobs are excluded: tuning how often to snapshot
+    must not orphan the snapshots already on disk.
+    """
+    fields = {
+        key: value
+        for key, value in asdict(config).items()
+        if not key.startswith("checkpoint_")
+    }
+    return config_hash(
+        {
+            "scheme": scheme,
+            "config": fields,
+            "file_sizes": list(file_sizes),
+            "pattern": list(pattern),
+            "seed": seed,
+            "event_gap": event_gap,
+            "warmup": warmup,
+        }
+    )
+
+
 def run_failure_schedule(
     scheme: str,
     code: ErasureCode,
@@ -168,20 +203,66 @@ def run_failure_schedule(
     seed: int = 0,
     event_gap: float = 900.0,
     warmup: float = 300.0,
+    checkpoint: CheckpointPolicy | None = None,
+    resume: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> SchemeRun:
     """Drive a loaded cluster through a sequence of failure events.
 
     Each event kills ``pattern[i]`` DataNodes, waits for all repairs to
     finish, then idles ``event_gap`` seconds before the next event — the
     separation visible between traffic spikes in Figure 5(a).
+
+    With a ``checkpoint`` policy the run snapshots the full simulator
+    state at due epoch boundaries (just before each kill, when the
+    cluster is quiescent); ``resume=True`` restores the newest valid
+    snapshot — falling back past corrupted files — and replays only the
+    remaining epochs, bit-identically to an uninterrupted run.  A
+    ``fault_plan`` (chaos testing) may crash the run or corrupt the
+    snapshot right after a checkpoint is written.
     """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint policy")
+    if fault_plan is not None and checkpoint is None:
+        raise ValueError("a fault plan requires a checkpoint policy")
+    run_key = schedule_run_key(
+        scheme, config, file_sizes, pattern, seed, event_gap, warmup
+    )
+    snapshot = None
+    start_epoch = 0
+    if resume:
+        found = checkpoint.store.latest(run_key, max_epoch=len(pattern) - 1)
+        if found is not None:
+            start_epoch, snapshot = found
     cluster = build_loaded_cluster(code, config, file_sizes, seed=seed)
     fixer = BlockFixer(cluster)
-    fixer.start()
     injector = make_schedule_injector(cluster, seed)
     run = SchemeRun(scheme=scheme, cluster=cluster, fixer=fixer)
-    cluster.run(until=warmup)
-    for index, nodes_to_kill in enumerate(pattern):
+    if snapshot is not None:
+        restore_run(snapshot, cluster, fixer, injector)
+        # begin_event appends the very records run.events collects, so
+        # the restored metrics carry the completed epochs' event log.
+        run.events = list(cluster.metrics.events)
+    else:
+        fixer.start()
+        cluster.run(until=warmup)
+    for index in range(start_epoch, len(pattern)):
+        nodes_to_kill = pattern[index]
+        if (
+            checkpoint is not None
+            and checkpoint.due(index)
+            and not (snapshot is not None and index == start_epoch)
+        ):
+            checkpoint.store.write(
+                run_key,
+                index,
+                snapshot_run(scheme, run_key, index, cluster, fixer, injector),
+            )
+            checkpoint.store.prune(run_key, checkpoint.keep)
+            if fault_plan is not None:
+                fault_plan.maybe_corrupt(checkpoint.store, run_key, index)
+                if fault_plan.should_kill(checkpoint.store, run_key, index):
+                    raise InjectedCrash(index)
         record = cluster.metrics.begin_event(
             FailureEventRecord(
                 label=f"{nodes_to_kill}", nodes_killed=nodes_to_kill, time=cluster.sim.now

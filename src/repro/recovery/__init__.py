@@ -1,0 +1,35 @@
+"""Crash-safe checkpoint/restore for long simulation runs.
+
+ROADMAP item: month-long traces at production scale must "survive
+interruption".  The recovery plane snapshots every stateful subsystem of
+a running failure-schedule simulation at quiescent epoch boundaries,
+writes the snapshot crash-safely (tmp file + fsync + atomic rename,
+schema version + content checksum), and restores by rebuilding the
+cluster deterministically and overlaying the captured state — so a
+killed-and-resumed run is **bit-identical** to one that was never
+interrupted.  ``repro.recovery.chaos`` adds deterministic fault
+injection (seeded kill/corruption plans) and
+``repro.recovery.equivalence`` holds the kill-resume harness proven by
+the differential tests.
+
+``equivalence`` is intentionally not imported here: it depends on
+``repro.experiments.runner``, which itself uses this package, and the
+lazy edge keeps the import graph acyclic.
+"""
+
+from .chaos import FaultPlan, InjectedCrash
+from .policy import CheckpointPolicy
+from .snapshot import SNAPSHOT_SCHEMA, ClusterSnapshot, restore_run, snapshot_run
+from .store import CheckpointStore, CorruptSnapshotError
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "ClusterSnapshot",
+    "CorruptSnapshotError",
+    "FaultPlan",
+    "InjectedCrash",
+    "SNAPSHOT_SCHEMA",
+    "restore_run",
+    "snapshot_run",
+]

@@ -1,0 +1,54 @@
+"""When to checkpoint: the interval/retention policy.
+
+The knobs live on :class:`~repro.cluster.config.ClusterConfig`
+(``checkpoint_interval_epochs``, ``checkpoint_keep``) so experiment
+presets carry them, but they are runtime-only: they never change
+simulation results and are excluded from experiment cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .store import CheckpointStore
+
+if TYPE_CHECKING:
+    from ..cluster.config import ClusterConfig
+
+__all__ = ["CheckpointPolicy"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """A store plus the cadence/retention rules for one run."""
+
+    store: CheckpointStore
+    interval_epochs: int = 1
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval_epochs < 1:
+            raise ValueError("checkpoint interval must be at least one epoch")
+        if self.keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+
+    @classmethod
+    def from_config(
+        cls, directory: str | Path, config: "ClusterConfig"
+    ) -> "CheckpointPolicy":
+        return cls(
+            store=CheckpointStore(directory),
+            interval_epochs=config.checkpoint_interval_epochs,
+            keep=config.checkpoint_keep,
+        )
+
+    def due(self, epoch: int) -> bool:
+        """Checkpoint before executing failure event ``epoch``?
+
+        Epoch 0 (after warmup, before the first kill) is always due, so
+        even a crash during the first event resumes without re-running
+        the build + warmup.
+        """
+        return epoch % self.interval_epochs == 0

@@ -132,7 +132,7 @@ class TestScheduleProtocol:
 
 
 class TestRegistry:
-    def test_all_ten_pairs_registered(self):
+    def test_all_eleven_pairs_registered(self):
         subsystems = {pair.subsystem for pair in engine_matrix()}
         assert subsystems == {
             "montecarlo",
@@ -145,6 +145,7 @@ class TestRegistry:
             "decommission",
             "mapreduce",
             "raidnode",
+            "recovery",
         }
         for pair in engine_matrix():
             assert pair.spec != pair.engine

@@ -46,7 +46,7 @@ def test_readme_cli_commands_exist():
     advertised = {
         "certify", "fig1", "ec2", "facebook", "workload", "baselines",
         "geo", "archival", "degraded", "tradeoff", "export", "claims",
-        "table1",
+        "table1", "chaos",
     }
     parser = build_parser()
     for command in advertised:

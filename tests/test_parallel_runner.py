@@ -1,12 +1,14 @@
 """The parallel experiment runner and its on-disk result cache."""
 
 import pickle
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.parallel import (
     CACHE_FORMAT_VERSION,
     ResultCache,
+    WorkerError,
     config_hash,
     parallel_map,
 )
@@ -22,6 +24,21 @@ SMALL = dict(num_files=3, seed=5, num_nodes=20, pattern=(1, 2), event_gap=120.0)
 def _double(config):
     """Module-level worker so it pickles into pool processes."""
     return config["x"] * 2
+
+
+def _maybe_fail(config):
+    if config.get("fail"):
+        raise RuntimeError(f"poisoned config x={config['x']}")
+    return config["x"]
+
+
+def _flaky(config):
+    """Fails on the first attempt (per marker file), succeeds after."""
+    marker = Path(config["marker"])
+    if not marker.exists():
+        marker.write_text("attempt 1 crashed")
+        raise RuntimeError("transient worker crash")
+    return "recovered"
 
 
 class TestConfigHash:
@@ -65,6 +82,35 @@ class TestResultCache:
         assert cache.get(key) is None
         cache.put(key, "rewritten")
         assert cache.get(key) == "rewritten"
+
+    def test_truncated_entry_quarantined_as_corrupt(self, tmp_path):
+        """A half-written pickle reads as a miss and is renamed aside
+        (``.corrupt``) so the rewrite cannot race it and the evidence
+        survives for debugging."""
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"a": 1})
+        cache.put(key, {"payload": list(range(100))})
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(key) is None
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.exists()
+        assert not path.exists()
+        cache.put(key, "rewritten")
+        assert cache.get(key) == "rewritten"
+
+    def test_runtime_keys_excluded_from_cache_key(self, tmp_path):
+        """Underscore-prefixed config keys are runtime plumbing: a
+        checkpoint-resumed run re-enters the cache under the hash of its
+        semantic fields."""
+        cache = ResultCache(tmp_path)
+        plain = cache.key_for({"a": 1}, namespace="ec2")
+        plumbed = cache.key_for(
+            {"a": 1, "_runtime": {"checkpoint_dir": "/x", "resume": True}},
+            namespace="ec2",
+        )
+        assert plain == plumbed
+        assert plain != cache.key_for({"a": 2}, namespace="ec2")
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -128,6 +174,80 @@ class TestParallelMap:
 
         result = parallel_map(other, [{"x": 3}], jobs=1, cache=cache, namespace="b")
         assert result == [-3] and calls == [3]
+
+
+class TestRetriesAndFailures:
+    def test_worker_error_carries_failing_config(self):
+        with pytest.raises(WorkerError) as info:
+            parallel_map(
+                _maybe_fail,
+                [{"x": 7, "fail": True}],
+                jobs=1,
+                retries=0,
+                retry_backoff=0,
+            )
+        error = info.value
+        assert error.config == {"x": 7, "fail": True}
+        assert error.attempts == 1
+        assert "poisoned config x=7" in error.cause_repr
+        assert "RuntimeError" in error.cause_traceback
+        assert "'x': 7" in str(error)
+
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        config = {"marker": str(tmp_path / "attempted")}
+        result = parallel_map(_flaky, [config], jobs=1, retry_backoff=0)
+        assert result == ["recovered"]
+
+    def test_retries_default_to_two(self, tmp_path):
+        """Two retries (three attempts) by default: the flaky worker
+        needs no explicit retry knobs to survive one crash."""
+        import inspect
+
+        assert inspect.signature(parallel_map).parameters["retries"].default == 2
+
+    def test_exhausted_retries_report_attempt_count(self, tmp_path):
+        with pytest.raises(WorkerError) as info:
+            parallel_map(
+                _maybe_fail,
+                [{"x": 1, "fail": True}],
+                jobs=1,
+                retries=2,
+                retry_backoff=0,
+            )
+        assert info.value.attempts == 3
+
+    def test_quarantine_leaves_none_slots_and_caches_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configs = [{"x": 1}, {"x": 2, "fail": True}, {"x": 3}]
+        results = parallel_map(
+            _maybe_fail,
+            configs,
+            jobs=1,
+            cache=cache,
+            retries=0,
+            retry_backoff=0,
+            on_error="quarantine",
+        )
+        assert results == [1, None, 3]
+        assert len(cache) == 2  # the poisoned slot was never cached
+
+    def test_pool_survives_poisoned_task(self):
+        configs = [{"x": i, "fail": i == 1} for i in range(4)]
+        results = parallel_map(
+            configs=configs,
+            worker=_maybe_fail,
+            jobs=2,
+            retries=0,
+            retry_backoff=0,
+            on_error="quarantine",
+        )
+        assert results == [0, None, 2, 3]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_double, [{"x": 1}], on_error="ignore")
+        with pytest.raises(ValueError):
+            parallel_map(_double, [{"x": 1}], retries=-1)
 
 
 class TestEC2Pipeline:

@@ -30,6 +30,7 @@ from repro.analysis.report import (
 from repro.analysis.rules import (
     ConfigValidationRule,
     EnginePurityRule,
+    ExceptionHygieneRule,
     FloatDeterminismRule,
     NanConventionRule,
     RngDisciplineRule,
@@ -348,6 +349,56 @@ def make_project(**overrides):
     return ProjectContext(**base)
 
 
+class TestExceptionHygiene:
+    def lint(self, source, module="repro.recovery.fake"):
+        return lint_source(source, module=module, rules=[ExceptionHygieneRule()])
+
+    def test_bare_except_flagged(self):
+        found = self.lint(
+            "try:\n    work()\nexcept:\n    cleanup()\n"
+        )
+        assert codes(found) == ["RL008"]
+        assert "KeyboardInterrupt" in found[0].message
+
+    def test_except_exception_pass_flagged(self):
+        found = self.lint(
+            "try:\n    work()\nexcept Exception:\n    pass\n"
+        )
+        assert codes(found) == ["RL008"]
+
+    def test_base_exception_and_tuples_flagged(self):
+        found = self.lint(
+            "try:\n    work()\nexcept (ValueError, BaseException):\n    ...\n"
+        )
+        assert codes(found) == ["RL008"]
+
+    def test_broad_handler_that_acts_passes(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    quarantine()\n"
+            "    raise\n"
+        )
+        assert self.lint(source) == []
+
+    def test_narrow_pass_handler_passes(self):
+        source = "try:\n    os.unlink(p)\nexcept OSError:\n    pass\n"
+        assert self.lint(source) == []
+
+    def test_outside_src_repro_ignored(self):
+        assert self.lint("try:\n    f()\nexcept:\n    pass\n", module="") == []
+
+    def test_pragma_suppresses(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # reprolint: disable=RL008\n"
+            "    pass\n"
+        )
+        assert self.lint(source) == []
+
+
 class TestProjectRules:
     def test_clean_project(self):
         assert run_project_rules(make_project()) == []
@@ -446,14 +497,14 @@ class TestSelfApplication:
             f"{v.location()}: {v.rule} {v.message}" for v in violations
         )
 
-    def test_rl003_covers_all_ten_pairs(self):
+    def test_rl003_covers_all_eleven_pairs(self):
         project = ProjectContext.from_repo(ROOT)
-        assert len(project.pairs) == 10
+        assert len(project.pairs) == 11
         subsystems = {pair.subsystem for pair in project.pairs}
         assert subsystems == {
             "montecarlo", "codec", "xorplane", "blockindex", "network",
             "readservice", "scrubber", "decommission", "mapreduce",
-            "raidnode",
+            "raidnode", "recovery",
         }
         for pair in project.pairs:
             assert pair.line > 1, pair  # anchored to its registration
@@ -463,9 +514,12 @@ class TestSelfApplication:
     def test_every_rule_documented(self):
         assert set(RULE_DESCRIPTIONS) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         }
         file_rule_codes = {rule.code for rule in FILE_RULES()}
-        assert file_rule_codes == {"RL001", "RL002", "RL004", "RL005", "RL006"}
+        assert file_rule_codes == {
+            "RL001", "RL002", "RL004", "RL005", "RL006", "RL008",
+        }
 
     def test_syntax_error_reported_not_raised(self):
         found = lint_source("def broken(:\n", module="repro.fake")

@@ -160,6 +160,68 @@ class TestHeapHygiene:
         event.cancel()  # already executed: must not corrupt the count
         assert sim.pending_count == 0
 
+    def test_rebuild_floor_exactly_at_threshold(self):
+        """The 64-dead floor is inclusive: the 64th cancellation (with a
+        dead majority) rebuilds; the 63rd never does."""
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[:63]:
+            event.cancel()
+        assert sim.heap_rebuilds == 0  # 63 dead: below the floor
+        events[63].cancel()  # 64 dead of 100: floor met, majority met
+        assert sim.heap_rebuilds == 1
+        assert sim._cancelled_pending == 0
+        assert len(sim._queue) == 36
+        assert sim.pending_count == 36
+
+    def test_exactly_half_dead_does_not_rebuild(self):
+        """The majority test is strict: 50% dead is not >50% dead."""
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:100]:
+            event.cancel()
+        assert sim.heap_rebuilds == 0  # 2 * 100 == 200: no strict majority
+        events[100].cancel()
+        assert sim.heap_rebuilds == 1
+
+    def test_rebuild_during_iteration_preserves_order_and_counts(self):
+        """A callback that mass-cancels mid-run triggers the rebuild
+        while the queue is being iterated; survivors still fire in order
+        and the live-event accounting stays exact."""
+        sim = Simulation()
+        fired = []
+        later = []
+
+        def purge():
+            for event in later[:150]:
+                event.cancel()
+
+        sim.schedule(1.0, purge)
+        for i in range(200):
+            later.append(sim.schedule(2.0 + i, lambda i=i: fired.append(i)))
+        sim.run()
+        assert sim.heap_rebuilds == 1  # crossed >50% once, mid-execution
+        assert fired == list(range(150, 200))
+        assert sim.pending_count == 0
+        assert sim.events_processed == 1 + 50
+
+    def test_peek_accounting_consistent_around_rebuild(self):
+        """peek_time pops dead heads (decrementing the pending count)
+        and the rebuild resets it; the two paths must agree on what is
+        still queued."""
+        sim = Simulation()
+        head = [sim.schedule(1.0, lambda: None) for _ in range(70)]
+        for _ in range(10):
+            sim.schedule(10.0, lambda: None)
+        for event in head:
+            event.cancel()  # rebuild fires at the 64th dead event
+        assert sim.heap_rebuilds == 1
+        assert sim.peek_time() == 10.0
+        assert sim._cancelled_pending == 0
+        assert sim.pending_count == 10
+        sim.run()
+        assert sim.events_processed == 10
+
     def test_network_churn_keeps_queue_bounded(self):
         """The reference engine cancels one completion event per flow on
         every churn step; the queue must stay O(live flows)."""
