@@ -5,27 +5,42 @@ Exit codes follow linter convention: 0 clean, 1 violations found,
 selects human lines (default), JSON, or GitHub workflow commands; the
 github format also appends a markdown table to ``$GITHUB_STEP_SUMMARY``
 when CI exports it, matching ``check_bench_regression.py``.
+
+Whole-repo runs go through the fact graph with the incremental cache
+(``.reprolint-cache.json``), so a warm run on an unchanged tree parses
+nothing.  ``--changed[=REF]`` scopes the report to files touched versus
+a git ref plus their reverse import dependencies — the pre-commit mode.
+``--explain RL0xx`` prints a rule's contract, a violating and a clean
+example, and its escape hatch.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 from pathlib import Path
 from typing import Sequence
 
+from .cache import AnalysisCache
 from .core import lint_paths
-from .project import ProjectContext, run_project_rules
+from .graph import analyze_paths
+from .project import ProjectContext, run_project_rules_ex
+from .registry import PROJECT_RULE_CODES, RULE_DESCRIPTIONS, explain
 from .report import render_github, render_human, render_json, step_summary_table
-from .rules import RULE_DESCRIPTIONS
 
-__all__ = ["add_lint_arguments", "default_targets", "resolve_root", "run_lint"]
+__all__ = [
+    "add_lint_arguments",
+    "changed_paths",
+    "default_targets",
+    "resolve_root",
+    "run_lint",
+]
 
-#: Directories the self-application contract covers (tests/ lints its
-#: own fixtures, so it is deliberately excluded).
+#: Directories the self-application contract covers with per-file rules.
+#: tests/ is analyzed for whole-program evidence (RL003 coverage) but no
+#: per-file rule runs there — fixture files deliberately violate rules.
 DEFAULT_TARGET_NAMES = ("src", "benchmarks", "examples")
-
-PROJECT_RULES = frozenset({"RL003", "RL007"})
 
 
 def resolve_root(root: str | os.PathLike | None = None) -> Path:
@@ -45,6 +60,26 @@ def resolve_root(root: str | os.PathLike | None = None) -> Path:
 
 def default_targets(root: Path) -> list[Path]:
     return [root / name for name in DEFAULT_TARGET_NAMES if (root / name).exists()]
+
+
+def changed_paths(root: Path, ref: str) -> set[str] | None:
+    """Repo-relative paths differing from ``ref`` plus untracked files;
+    None when git cannot answer (not a repo, unknown ref)."""
+    changed: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if result.returncode != 0:
+            return None
+        changed.update(line.strip() for line in result.stdout.splitlines() if line.strip())
+    return changed
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -73,9 +108,40 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to run (default: all), "
         f"e.g. --rules=RL001,RL006; known: {','.join(sorted(RULE_DESCRIPTIONS))}",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report only findings in files changed vs REF (default HEAD) "
+        "plus their reverse import dependencies — the pre-commit mode",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RL0xx",
+        help="print a rule's contract, examples, and escape hatch, then exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental analysis cache "
+        "(.reprolint-cache.json)",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
+    if getattr(args, "explain", None):
+        text = explain(args.explain)
+        if text is None:
+            print(
+                f"reprolint: error: unknown rule {args.explain!r}; "
+                f"known: {sorted(RULE_DESCRIPTIONS)}"
+            )
+            return 2
+        print(text)
+        return 0
     try:
         root = resolve_root(args.root)
     except FileNotFoundError as exc:
@@ -92,27 +158,52 @@ def run_lint(args: argparse.Namespace) -> int:
             )
             return 2
     explicit_paths = [Path(p) for p in args.paths]
-    targets = (
-        [p if p.is_absolute() else root / p for p in explicit_paths]
-        if explicit_paths
-        else default_targets(root)
-    )
-    missing = [str(p) for p in targets if not p.exists()]
-    if missing:
-        print(f"reprolint: error: no such path(s): {', '.join(missing)}")
-        return 2
-    violations = lint_paths(targets, root=root, rules=rules)
-    # Project rules see the whole repository; run them only on a default
-    # (whole-repo) invocation so `repro lint some/file.py` stays scoped.
-    if not explicit_paths and (rules is None or rules & PROJECT_RULES):
-        project = ProjectContext.from_repo(root)
-        violations = sorted(violations + run_project_rules(project, rules=rules))
+    if explicit_paths:
+        # Scoped invocation: per-file rules only, no cache, no project
+        # rules — `repro lint some/file.py` stays a quick local check.
+        targets = [p if p.is_absolute() else root / p for p in explicit_paths]
+        missing = [str(p) for p in targets if not p.exists()]
+        if missing:
+            print(f"reprolint: error: no such path(s): {', '.join(missing)}")
+            return 2
+        violations = lint_paths(targets, root=root, rules=rules)
+        suppressed = 0
+    else:
+        # Whole-repo invocation: fact graph + incremental cache + the
+        # whole-program rules.  tests/ joins the analysis (for RL003
+        # coverage evidence) but contributes no per-file findings.
+        targets = default_targets(root)
+        if (root / "tests").exists():
+            targets.append(root / "tests")
+        cache = None
+        if not getattr(args, "no_cache", False):
+            cache = AnalysisCache(root)
+        graph, violations, suppressed = analyze_paths(
+            targets, root=root, rules=rules, cache=cache
+        )
+        if rules is None or rules & PROJECT_RULE_CODES:
+            project = ProjectContext.from_graph(graph)
+            project_violations, project_suppressed = run_project_rules_ex(
+                project, rules=rules, graph=graph
+            )
+            violations = sorted(violations + project_violations)
+            suppressed += project_suppressed
+        if args.changed is not None:
+            scoped = changed_paths(root, args.changed)
+            if scoped is None:
+                print(
+                    f"reprolint: error: cannot diff against {args.changed!r} "
+                    "(not a git checkout, or unknown ref)"
+                )
+                return 2
+            frontier = graph.reverse_closure(scoped)
+            violations = [v for v in violations if v.path in frontier]
     renderer = {
         "human": render_human,
         "json": render_json,
         "github": render_github,
     }[args.format]
-    print(renderer(violations))
+    print(renderer(violations, suppressed=suppressed))
     if args.format == "github":
         summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
         if summary_path:

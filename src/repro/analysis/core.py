@@ -24,13 +24,25 @@ __all__ = [
     "LintContext",
     "Rule",
     "RuleViolation",
+    "lint_context",
     "lint_file",
     "lint_paths",
     "lint_source",
     "module_name_for",
+    "parse_pragmas",
+    "parse_transient_lines",
+    "scope_for",
 ]
 
 PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: The RL010 escape hatch: marks a mutable attribute as deliberately
+#: outside the snapshot overlay (rebuild-derived caches and the like).
+TRANSIENT_PRAGMA = re.compile(r"#\s*reprolint:\s*transient\b")
+
+#: Top-level directories with distinct rule policies.  Rules declare
+#: which scopes they run in via ``Rule.scopes``.
+KNOWN_SCOPES = ("src", "benchmarks", "examples", "tests")
 
 
 @dataclass(frozen=True, order=True)
@@ -46,7 +58,7 @@ class RuleViolation:
         return f"{self.path}:{self.line}"
 
 
-def _parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
     """Line number -> rule codes disabled on that line."""
     pragmas: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -63,6 +75,28 @@ def _parse_pragmas(source: str) -> dict[int, frozenset[str]]:
     return pragmas
 
 
+_parse_pragmas = parse_pragmas  # pre-v2 private name
+
+
+def parse_transient_lines(source: str) -> frozenset[int]:
+    """Line numbers carrying a ``# reprolint: transient`` mark."""
+    return frozenset(
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if "reprolint" in line and TRANSIENT_PRAGMA.search(line)
+    )
+
+
+def scope_for(path: Path, root: Path) -> str:
+    """Policy scope of a file: its top-level directory under the repo
+    root ('' when outside the known scoped directories)."""
+    try:
+        relative = Path(path).resolve().relative_to(Path(root).resolve())
+    except ValueError:
+        return ""
+    return relative.parts[0] if relative.parts and relative.parts[0] in KNOWN_SCOPES else ""
+
+
 @dataclass
 class LintContext:
     """Everything a rule sees about one file: tree, lines, module path."""
@@ -73,24 +107,46 @@ class LintContext:
     module: str  # dotted module name ("" outside src/)
     pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
     violations: list[RuleViolation] = field(default_factory=list)
+    scope: str = "src"  # policy scope: src/benchmarks/examples/tests/""
+    suppressed: int = 0  # findings silenced by a disable= pragma
 
     def report(self, rule: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
         for candidate in (line, getattr(node, "end_lineno", line)):
             disabled = self.pragmas.get(candidate)
             if disabled and (rule in disabled or "ALL" in disabled):
+                self.suppressed += 1
                 return
         self.violations.append(RuleViolation(self.path, line, rule, message))
 
 
 class Rule:
-    """Base class: subclasses define ``code``/``description`` plus any
-    ``visit_<NodeType>`` hooks; ``applies_to`` scopes by module path."""
+    """Base class for every reprolint rule — per-file AST visitors and
+    whole-program checks alike.
+
+    Subclasses carry the full rule record (``code``, ``description``,
+    ``kind``, ``scopes``, and the ``--explain`` fields ``contract`` /
+    ``example_bad`` / ``example_good`` / ``escape``) so the registry,
+    the CLI, the renderers, and the docs-consistency test all derive
+    from one source of truth.  Per-file rules ("file" kind) define
+    ``visit_<NodeType>`` hooks; project rules ("project" kind) override
+    ``check`` in :mod:`repro.analysis.project`.
+    """
 
     code = "RL000"
     description = ""
+    kind = "file"  # "file" (single-AST visitor) or "project" (whole-program)
+    scopes: tuple[str, ...] = ("src",)
+    contract = ""
+    example_bad = ""
+    example_good = ""
+    escape = "# reprolint: disable=<code> on the offending line"
 
     def applies_to(self, context: LintContext) -> bool:
+        if context.scope not in self.scopes:
+            return False
+        if context.scope == "src":
+            return context.module == "repro" or context.module.startswith("repro.")
         return True
 
     def begin(self, context: LintContext) -> None:
@@ -131,13 +187,16 @@ def module_name_for(path: Path, root: Path) -> str:
     return ".".join(parts)
 
 
-def lint_source(
+def lint_context(
     source: str,
     path: str = "<string>",
     module: str = "",
+    scope: str = "src",
     rules: Iterable[Rule] | None = None,
-) -> list[RuleViolation]:
-    """Lint one in-memory source blob (the fixture-test entry point)."""
+) -> LintContext | list[RuleViolation]:
+    """Parse + run per-file rules, returning the full LintContext (with
+    the tree, violations, pragmas, and suppressed count) — or a one-item
+    violation list when the file does not parse."""
     from .rules import FILE_RULES
 
     active = list(FILE_RULES() if rules is None else rules)
@@ -152,17 +211,32 @@ def lint_source(
         source=source,
         tree=tree,
         module=module,
-        pragmas=_parse_pragmas(source),
+        pragmas=parse_pragmas(source),
+        scope=scope,
     )
     applicable = [rule for rule in active if rule.applies_to(context)]
-    if not applicable:
-        return []
-    for rule in applicable:
-        rule.begin(context)
-    _Dispatcher(context, applicable).visit(tree)
-    for rule in applicable:
-        rule.finish(context)
-    return sorted(context.violations)
+    if applicable:
+        for rule in applicable:
+            rule.begin(context)
+        _Dispatcher(context, applicable).visit(tree)
+        for rule in applicable:
+            rule.finish(context)
+    context.violations.sort()
+    return context
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    rules: Iterable[Rule] | None = None,
+    scope: str = "src",
+) -> list[RuleViolation]:
+    """Lint one in-memory source blob (the fixture-test entry point)."""
+    result = lint_context(source, path=path, module=module, scope=scope, rules=rules)
+    if isinstance(result, list):
+        return result
+    return result.violations
 
 
 def lint_file(
@@ -171,7 +245,11 @@ def lint_file(
     source = path.read_text(encoding="utf-8")
     display = str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
     return lint_source(
-        source, path=display, module=module_name_for(path, root), rules=rules
+        source,
+        path=display,
+        module=module_name_for(path, root),
+        rules=rules,
+        scope=scope_for(path, root),
     )
 
 

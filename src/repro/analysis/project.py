@@ -1,14 +1,28 @@
-"""Cross-file reprolint rules: RL003 (spec/engine conformance) and
-RL007 (bench-gate consistency).
+"""Whole-program reprolint rules.
 
-Per-file AST visitors cannot see whether a registered engine pair has a
-differential test two directories away, or whether a ``gate_speedup``
-metric name survives the round trip through the committed baseline.
-These checks therefore run over a :class:`ProjectContext` — a snapshot
-of the difftest registry, the identifiers/strings each test file uses,
-the metric names the benchmark suite gates, and the baseline's keys.
-Every field is plain data, so tests construct synthetic contexts
-directly instead of faking a repository.
+RL003 (spec/engine conformance) and RL007 (bench-gate consistency) run
+over a :class:`ProjectContext` — a plain-data snapshot of the difftest
+registry, test-file evidence, benchmark gate calls, and the committed
+baseline.  The v2 rules run over the :class:`~repro.analysis.graph.
+ProjectGraph` fact table instead:
+
+* **RL009 seed provenance** — interprocedural taint: every value
+  reaching a ``default_rng``/``spawn_streams`` seed argument must flow
+  from a config seed field or a threaded ``seed`` parameter, through
+  any number of locals, arithmetic steps, or helper calls.
+* **RL010 snapshot coverage** — every mutable attribute of a class
+  participating in the recovery overlay must appear in its snapshot/
+  restore field lists (or carry a ``# reprolint: transient`` mark).
+* **RL011 cache-key completeness** — every ``ClusterConfig``/
+  ``DegradedReadConfig`` field must reach a cache-key builder
+  (``config_hash``/``schedule_run_key``-style) or sit on the documented
+  exclusion list (``checkpoint_*`` policy knobs, ``_*`` runtime keys).
+* **RL012 interprocedural engine purity** — RL002's per-element-loop
+  check extended one call-graph level into helpers invoked from
+  registered engine bodies.
+
+Every input is plain data, so tests construct synthetic contexts and
+graphs directly instead of faking a repository.
 """
 
 from __future__ import annotations
@@ -19,13 +33,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from .core import RuleViolation, iter_python_files
+from .core import Rule, RuleViolation, iter_python_files
+from .dataflow import CONST, SEEDED, resolve_taint
+from .graph import ProjectGraph
+from .rules import engine_symbols_by_module
 
 __all__ = [
+    "CacheKeyCompletenessRule",
+    "ConformanceRule",
+    "GateRoundtripRule",
+    "InterproceduralPurityRule",
     "PairRecord",
     "ProjectContext",
+    "PROJECT_RULE_CLASSES",
+    "PROJECT_RULES",
+    "SeedProvenanceRule",
+    "SnapshotCoverageRule",
     "TestEvidence",
     "run_project_rules",
+    "run_project_rules_ex",
 ]
 
 PAIRS_PATH = "src/repro/difftest/pairs.py"
@@ -87,6 +113,34 @@ class ProjectContext:
             errors=errors,
         )
 
+    @classmethod
+    def from_graph(cls, graph: ProjectGraph) -> "ProjectContext":
+        """Build the RL003/RL007 snapshot from extracted facts — no
+        parsing, so warm cached runs skip the tests/benchmarks re-read."""
+        root = graph.root
+        errors: list[RuleViolation] = []
+        tests = tuple(
+            TestEvidence(
+                path=facts.path,
+                identifiers=facts.test_identifiers,
+                strings=facts.test_strings,
+            )
+            for path, facts in sorted(graph.files.items())
+            if facts.scope == "tests"
+        )
+        gate_calls = {
+            name: (facts.path, line)
+            for path, facts in sorted(graph.files.items())
+            for name, line in facts.gate_calls.items()
+        }
+        return cls(
+            pairs=_load_pairs(root, errors),
+            tests=tests,
+            gated_keys=_baseline_gated_keys(root, errors),
+            gate_calls=gate_calls,
+            errors=errors,
+        )
+
 
 def _registration_lines(root: Path) -> dict[str, int]:
     """subsystem -> line of its ``register_engine_pair`` call."""
@@ -108,6 +162,8 @@ def _registration_lines(root: Path) -> dict[str, int]:
 
 
 def _load_pairs(root: Path, errors: list[RuleViolation]) -> tuple[PairRecord, ...]:
+    if not (Path(root) / PAIRS_PATH).exists():
+        return ()  # a root without the registry has no pairs to conform to
     try:
         from repro.difftest import engine_matrix
     except Exception as exc:  # registry must import for RL003 to run
@@ -158,7 +214,12 @@ def _baseline_gated_keys(
 ) -> dict[str, int]:
     path = root / BASELINE_PATH
     if not path.exists():
-        errors.append(RuleViolation(BASELINE_PATH, 1, "RL000", "baseline missing"))
+        # Only an error for roots that carry the difftest registry: a
+        # repo with gated pairs must commit the baseline they gate on.
+        if (Path(root) / PAIRS_PATH).exists():
+            errors.append(
+                RuleViolation(BASELINE_PATH, 1, "RL000", "baseline missing")
+            )
         return {}
     text = path.read_text(encoding="utf-8")
     try:
@@ -206,93 +267,537 @@ def _gate_speedup_calls(root: Path) -> dict[str, tuple[str, int]]:
     return calls
 
 
-def run_project_rules(
-    project: ProjectContext, rules: Iterable[str] | None = None
-) -> list[RuleViolation]:
-    """RL003 + RL007 over a project snapshot; ``rules`` filters by code."""
-    wanted = None if rules is None else set(rules)
-    violations = list(project.errors)
-    if wanted is None or "RL003" in wanted:
-        violations.extend(_check_conformance(project))
-    if wanted is None or "RL007" in wanted:
-        violations.extend(_check_gate_roundtrip(project))
-    return sorted(violations)
+# ---------------------------------------------------------------------------
+# Project rule classes
+# ---------------------------------------------------------------------------
 
 
-def _check_conformance(project: ProjectContext) -> list[RuleViolation]:
-    """RL003: every pair has a differential test and a gated metric, and
-    every gated baseline key is alive (a pair gate or a recorded bench)."""
-    violations: list[RuleViolation] = []
-    for pair in project.pairs:
-        covered = any(
-            evidence.names_both(pair.spec_symbol, pair.engine_symbol)
-            or evidence.exercises_choices(pair.engine_symbol, pair.choices)
-            for evidence in project.tests
-        )
-        if not covered:
-            violations.append(
-                RuleViolation(
-                    project.pairs_path,
-                    pair.line,
-                    "RL003",
-                    f"engine pair {pair.subsystem!r} has no differential "
-                    f"test: no tests/ file references both "
-                    f"{pair.spec_symbol!r} and {pair.engine_symbol!r} (or "
-                    f"exercises every choice of {pair.engine_symbol!r})",
-                )
-            )
-        if pair.gate is None:
-            violations.append(
-                RuleViolation(
-                    project.pairs_path,
-                    pair.line,
-                    "RL003",
-                    f"engine pair {pair.subsystem!r} declares no CI gate "
-                    "metric (gate=None): regressions would land silently",
-                )
-            )
-        elif pair.gate not in project.gated_keys:
-            violations.append(
-                RuleViolation(
-                    project.pairs_path,
-                    pair.line,
-                    "RL003",
-                    f"engine pair {pair.subsystem!r} gates on "
-                    f"{pair.gate!r} but {project.baseline_path} has no such "
-                    "gated key: the speedup is never CI-checked",
-                )
-            )
-    alive = {pair.gate for pair in project.pairs if pair.gate}
-    alive.update(f"{name}_speedup" for name in project.gate_calls)
-    for key, line in sorted(project.gated_keys.items()):
-        if key not in alive:
-            violations.append(
-                RuleViolation(
-                    project.baseline_path,
-                    line,
-                    "RL003",
-                    f"dead baseline key {key!r}: no registered pair or "
-                    "gate_speedup call records it, so the gate can never "
-                    "trip",
-                )
-            )
-    return violations
+class ProjectRule(Rule):
+    """Base for whole-program rules.  ``check`` receives whichever of
+    the two project views exists for this invocation; rules needing a
+    view that's absent contribute nothing.  Findings silenced by a
+    ``disable=`` pragma in the anchoring file are tallied in
+    ``self.suppressed``."""
+
+    kind = "project"
+
+    def __init__(self) -> None:
+        self.suppressed = 0
+
+    def check(
+        self, context: ProjectContext | None, graph: ProjectGraph | None
+    ) -> list[RuleViolation]:
+        raise NotImplementedError
+
+    def _report(
+        self,
+        violations: list[RuleViolation],
+        graph: ProjectGraph,
+        path: str,
+        line: int,
+        message: str,
+        end_line: int | None = None,
+    ) -> None:
+        facts = graph.files.get(path)
+        if facts is not None and not facts.pragma_allows(
+            self.code, line, end_line or line
+        ):
+            self.suppressed += 1
+            return
+        violations.append(RuleViolation(path, line, self.code, message))
 
 
-def _check_gate_roundtrip(project: ProjectContext) -> list[RuleViolation]:
+class ConformanceRule(ProjectRule):
+    """RL003: every registered pair has a differential test and a live
+    gated baseline metric."""
+
+    code = "RL003"
+    description = (
+        "spec/engine conformance: every register_engine_pair has a "
+        "differential test in tests/ and a gated bench_baseline.json metric; "
+        "no dead baseline keys"
+    )
+    contract = (
+        "Every register_engine_pair() must have a tests/ file exercising "
+        "both its spec and engine symbols (or every engine choice), must "
+        "declare a CI gate metric, and that metric must exist in "
+        "bench_baseline.json; baseline keys no pair or gate_speedup call "
+        "records are dead and flagged."
+    )
+    example_bad = (
+        "register_engine_pair('widget', spec=..., engine=..., gate=None)"
+    )
+    example_good = (
+        "register_engine_pair('widget', ..., gate='widget_speedup')\n"
+        "# plus tests/test_widget.py referencing spec and engine"
+    )
+    escape = "# reprolint: disable=RL003 on the registration line"
+
+    def check(self, context, graph):
+        if context is None:
+            return []
+        violations: list[RuleViolation] = []
+        for pair in context.pairs:
+            covered = any(
+                evidence.names_both(pair.spec_symbol, pair.engine_symbol)
+                or evidence.exercises_choices(pair.engine_symbol, pair.choices)
+                for evidence in context.tests
+            )
+            if not covered:
+                violations.append(
+                    RuleViolation(
+                        context.pairs_path,
+                        pair.line,
+                        self.code,
+                        f"engine pair {pair.subsystem!r} has no differential "
+                        f"test: no tests/ file references both "
+                        f"{pair.spec_symbol!r} and {pair.engine_symbol!r} (or "
+                        f"exercises every choice of {pair.engine_symbol!r})",
+                    )
+                )
+            if pair.gate is None:
+                violations.append(
+                    RuleViolation(
+                        context.pairs_path,
+                        pair.line,
+                        self.code,
+                        f"engine pair {pair.subsystem!r} declares no CI gate "
+                        "metric (gate=None): regressions would land silently",
+                    )
+                )
+            elif pair.gate not in context.gated_keys:
+                violations.append(
+                    RuleViolation(
+                        context.pairs_path,
+                        pair.line,
+                        self.code,
+                        f"engine pair {pair.subsystem!r} gates on "
+                        f"{pair.gate!r} but {context.baseline_path} has no such "
+                        "gated key: the speedup is never CI-checked",
+                    )
+                )
+        alive = {pair.gate for pair in context.pairs if pair.gate}
+        alive.update(f"{name}_speedup" for name in context.gate_calls)
+        for key, line in sorted(context.gated_keys.items()):
+            if key not in alive:
+                violations.append(
+                    RuleViolation(
+                        context.baseline_path,
+                        line,
+                        self.code,
+                        f"dead baseline key {key!r}: no registered pair or "
+                        "gate_speedup call records it, so the gate can never "
+                        "trip",
+                    )
+                )
+        return violations
+
+
+class GateRoundtripRule(ProjectRule):
     """RL007: each ``gate_speedup`` metric name appears in the baseline."""
-    violations: list[RuleViolation] = []
-    for name, (path, line) in sorted(project.gate_calls.items()):
-        key = f"{name}_speedup"
-        if key not in project.gated_keys:
-            violations.append(
-                RuleViolation(
-                    path,
-                    line,
-                    "RL007",
-                    f"gate_speedup({name!r}) records {key!r} but "
-                    f"{project.baseline_path} never gates it: the bench "
-                    "runs without a regression floor",
+
+    code = "RL007"
+    description = (
+        "bench-gate consistency: every gate_speedup metric name round-trips "
+        "through bench_baseline.json (schema 2)"
+    )
+    contract = (
+        "Every gate_speedup('name', ...) call in benchmarks/ must have a "
+        "matching 'name_speedup' gated key in bench_baseline.json, or the "
+        "bench runs without a regression floor."
+    )
+    example_bad = "gate_speedup('newbench', spec_s, engine_s)  # key missing"
+    example_good = '"gated": {"newbench_speedup": 10.0}  # in the baseline'
+    escape = "# reprolint: disable=RL007 on the gate_speedup line"
+
+    def check(self, context, graph):
+        if context is None:
+            return []
+        violations: list[RuleViolation] = []
+        for name, (path, line) in sorted(context.gate_calls.items()):
+            key = f"{name}_speedup"
+            if key not in context.gated_keys:
+                violations.append(
+                    RuleViolation(
+                        path,
+                        line,
+                        self.code,
+                        f"gate_speedup({name!r}) records {key!r} but "
+                        f"{context.baseline_path} never gates it: the bench "
+                        "runs without a regression floor",
+                    )
                 )
+        return violations
+
+
+class SeedProvenanceRule(ProjectRule):
+    """RL009: every RNG stream traces to sanctioned entropy.
+
+    For each ``default_rng``/``spawn_streams`` call site in
+    ``src/repro``, the dataflow taint of its arguments — resolved
+    interprocedurally through the project symbol table — must be
+    SEEDED: flowing from a seed-like parameter, a config seed field, or
+    a spawned stream.  CONST means a hidden constant seed (possibly
+    laundered through locals, arithmetic, or helper functions); UNKNOWN
+    means provenance that cannot be traced to any sanctioned source.
+    Replaces RL001's old syntactic default_rng check.
+    """
+
+    code = "RL009"
+    description = (
+        "seed provenance (dataflow): every value reaching a default_rng/"
+        "spawn_streams seed argument must flow from a config seed field or "
+        "threaded seed parameter — constant and untraceable seeds are "
+        "flagged even when laundered through locals, arithmetic, or helpers"
+    )
+    contract = (
+        "Every default_rng()/spawn_streams() argument must resolve — "
+        "through the interprocedural taint lattice — to sanctioned "
+        "entropy: a seed-like parameter (seed, rng, *_seed, ...), a "
+        "seed-named attribute (config.failure_seed), or a seed factory "
+        "(SeedSequence/spawn).  Constants (however laundered) and "
+        "untraceable values are both violations: one is a hidden fixed "
+        "stream, the other cannot be audited for the controlled-"
+        "comparison contract."
+    )
+    example_bad = (
+        "def make_rng(n):\n"
+        "    s = 1234 + n          # laundered constant\n"
+        "    return default_rng(s)"
+    )
+    example_good = (
+        "def make_rng(seed, n):\n"
+        "    return default_rng(seed + n)  # threaded config seed"
+    )
+    escape = "# reprolint: disable=RL009 on the call line"
+
+    def check(self, context, graph):
+        if graph is None:
+            return []
+        violations: list[RuleViolation] = []
+        for path, facts in sorted(graph.files.items()):
+            if facts.scope != "src":
+                continue
+            for site in facts.seed_sites:
+                where = f"{site.func}() in {site.owner}"
+                if site.taint is None:
+                    message = (
+                        f"seedless {where}: thread an explicit seed/rng "
+                        "parameter (derive via difftest.spawn_streams)"
+                    )
+                else:
+                    resolved = resolve_taint(site.taint, graph.lookup_summary)
+                    if resolved is SEEDED:
+                        continue
+                    if resolved is CONST:
+                        message = (
+                            f"constant seed reaches {where}: a fixed "
+                            "stream defeats config-derived reproducibility "
+                            "no matter how the literal is laundered; "
+                            "thread a seed parameter or config seed field"
+                        )
+                    else:
+                        message = (
+                            f"untraceable seed reaches {where}: the value "
+                            "flows from no config seed field or threaded "
+                            "seed parameter, so the stream cannot be "
+                            "audited for the controlled-comparison contract"
+                        )
+                self._report(
+                    violations, graph, path, site.line, message, site.end_line
+                )
+        return violations
+
+
+class SnapshotCoverageRule(ProjectRule):
+    """RL010: mutable state on overlay classes is captured or declared
+    transient.
+
+    A class participating in the recovery overlay (defining both
+    ``snapshot_state`` and ``restore_state``) promises kill-resume
+    equivalence: every attribute mutated outside the constructor/
+    restore path must appear in the snapshot/restore field lists, or
+    carry an explicit ``# reprolint: transient`` mark stating it is
+    deterministically rebuilt rather than captured.
+    """
+
+    code = "RL010"
+    description = (
+        "snapshot coverage: every mutable attribute of a snapshot_state/"
+        "restore_state class must appear in the snapshot/restore field "
+        "lists or carry a '# reprolint: transient' mark"
+    )
+    contract = (
+        "Any self.<attr> assigned outside __init__/__post_init__/"
+        "restore_state on a class that defines snapshot_state and "
+        "restore_state must be referenced by one of those two methods.  "
+        "Unsnapshotted mutable state silently breaks kill-resume "
+        "equivalence: the resumed run diverges from the uninterrupted "
+        "one.  Attributes that are deterministic functions of captured "
+        "state take '# reprolint: transient' at an assignment site."
+    )
+    example_bad = (
+        "def advance(self):\n"
+        "    self.backlog += 1   # never in snapshot_state/restore_state"
+    )
+    example_good = (
+        "def snapshot_state(self):\n"
+        "    return {'backlog': self.backlog, ...}"
+    )
+    escape = (
+        "# reprolint: transient on an assignment to the attribute "
+        "(or disable=RL010 on the mutation line)"
+    )
+
+    def check(self, context, graph):
+        if graph is None:
+            return []
+        violations: list[RuleViolation] = []
+        for path, facts in sorted(graph.files.items()):
+            if facts.scope != "src":
+                continue
+            for cls in facts.snapshot_classes:
+                for attr, line, transient in cls.mutated:
+                    if transient:
+                        continue
+                    if attr in cls.captured or attr.lstrip("_") in cls.captured:
+                        continue
+                    self._report(
+                        violations,
+                        graph,
+                        path,
+                        line,
+                        f"{cls.name}.{attr} is mutated outside __init__/"
+                        "restore_state but appears in neither "
+                        "snapshot_state nor restore_state: kill-resume "
+                        "would silently drop it; capture it or mark the "
+                        "assignment '# reprolint: transient'",
+                    )
+        return violations
+
+
+class CacheKeyCompletenessRule(ProjectRule):
+    """RL011: every config field reaches the cache key or is a
+    documented exclusion.
+
+    The parallel result cache and the checkpoint run keys identify a
+    result by a hash of config fields; a field that never reaches any
+    key builder makes two *different* experiments share one cache entry
+    — wrong results, not a crash.  Fields may be excluded only under
+    the documented prefixes: ``checkpoint_*`` (snapshot-policy knobs
+    must not orphan on-disk checkpoints) and ``_*`` (runtime plumbing).
+    """
+
+    code = "RL011"
+    description = (
+        "cache-key completeness: every ClusterConfig/DegradedReadConfig "
+        "field must reach config_hash/schedule_run_key (or another key "
+        "builder) or match the documented exclusions checkpoint_*/_*"
+    )
+    #: Config dataclasses whose fields feed cached experiment identity.
+    target_configs = ("ClusterConfig", "DegradedReadConfig")
+    #: The documented exclusion list: checkpoint policy knobs (excluded
+    #: so retuning snapshot cadence doesn't orphan checkpoints already
+    #: on disk) and underscore-prefixed runtime plumbing (_runtime).
+    documented_exclusions = ("checkpoint_", "_")
+    contract = (
+        "Every field of ClusterConfig and DegradedReadConfig must be "
+        "incorporated into a cache key: via asdict(config) in a key "
+        "builder (config_hash / schedule_run_key / *_config / key_for), "
+        "via direct attribute access, or as a literal dict key.  The only "
+        "sanctioned exclusions are the documented prefixes checkpoint_* "
+        "(snapshot policy must not orphan on-disk checkpoints) and _* "
+        "(runtime plumbing).  An unkeyed field lets two different "
+        "experiments share one cache entry — wrong results, not a crash."
+    )
+    example_bad = (
+        "@dataclass(frozen=True)\n"
+        "class ClusterConfig:\n"
+        "    new_knob: float = 1.0  # never reaches any key builder"
+    )
+    example_good = (
+        "fields = {k: v for k, v in asdict(config).items()\n"
+        "          if not k.startswith('checkpoint_')}\n"
+        "return config_hash({'config': fields, ...})"
+    )
+    escape = "# reprolint: disable=RL011 on the field line"
+
+    def check(self, context, graph):
+        if graph is None:
+            return []
+        builders = [
+            builder
+            for facts in graph.files.values()
+            for builder in facts.key_builders
+        ]
+        string_cover: set[str] = set()
+        attr_cover: set[str] = set()
+        asdict_cover: dict[str, list[frozenset[str]]] = {}
+        for builder in builders:
+            string_cover |= builder.string_keys
+            attr_cover |= builder.param_attrs
+            for cls_name in builder.asdict_classes:
+                asdict_cover.setdefault(cls_name, []).append(
+                    builder.exclusion_prefixes
+                )
+        violations: list[RuleViolation] = []
+        for path, facts in sorted(graph.files.items()):
+            if facts.scope != "src":
+                continue
+            for cfg in facts.config_classes:
+                if cfg.name not in self.target_configs:
+                    continue
+                for field_name, line in cfg.fields:
+                    if field_name.startswith(self.documented_exclusions):
+                        continue
+                    reaches_asdict = any(
+                        not any(
+                            field_name.startswith(prefix) for prefix in exclusions
+                        )
+                        for exclusions in asdict_cover.get(cfg.name, ())
+                    )
+                    if (
+                        reaches_asdict
+                        or field_name in attr_cover
+                        or field_name in string_cover
+                    ):
+                        continue
+                    self._report(
+                        violations,
+                        graph,
+                        path,
+                        line,
+                        f"{cfg.name}.{field_name} never reaches a cache-key "
+                        "builder (config_hash/schedule_run_key/...) and is "
+                        "not on the documented exclusion list "
+                        "(checkpoint_*, _*): two different experiments "
+                        "would share one cached result",
+                    )
+        return violations
+
+
+class InterproceduralPurityRule(ProjectRule):
+    """RL012: engine purity follows calls into helpers.
+
+    RL002 checks registered engine bodies; this rule walks one
+    call-graph level further: plain-name helper functions invoked from
+    an engine body (in the same module or imported) must not contain
+    per-element ``for i in range(...)`` index loops either — pushing
+    the scalar loop into a helper must not launder it past the gate.
+    """
+
+    code = "RL012"
+    description = (
+        "interprocedural engine purity: helpers invoked from registered "
+        "engine bodies must not run per-element index loops (RL002 "
+        "extended one call-graph level)"
+    )
+    contract = (
+        "A module-level function called (by plain name, same module or "
+        "imported) from a registered engine body must not contain "
+        "per-element `for i in range(...)` index loops: moving the "
+        "scalar loop into a helper does not restore the vectorized "
+        "speedup the bench gate measures."
+    )
+    example_bad = (
+        "def _scalar_helper(xs, out):\n"
+        "    for i in range(len(xs)):\n"
+        "        out[i] = xs[i] * 2\n"
+        "class Engine:\n"
+        "    def run(self):\n"
+        "        _scalar_helper(self.xs, self.out)"
+    )
+    example_good = "def _helper(xs):\n    return xs * 2"
+    escape = "# reprolint: disable=RL012 on the loop line in the helper"
+
+    def __init__(self, engine_symbols: dict[str, frozenset[str]] | None = None):
+        super().__init__()
+        self._engine_symbols = engine_symbols
+
+    def check(self, context, graph):
+        if graph is None:
+            return []
+        table = self._engine_symbols
+        if table is None:
+            table = engine_symbols_by_module()
+        findings: dict[tuple[str, int, str], set[str]] = {}
+        for module, symbols in sorted(table.items()):
+            facts = graph.by_module.get(module)
+            if facts is None:
+                continue
+            for symbol in sorted(symbols):
+                for callee in facts.calls.get(symbol, ()):
+                    if callee == symbol:
+                        continue
+                    resolved = graph.resolve_function(module, callee)
+                    if resolved is None:
+                        continue
+                    helper_facts, helper_name = resolved
+                    if helper_name in table.get(helper_facts.module, ()):
+                        continue  # RL002 already covers engine bodies
+                    for line in helper_facts.loops.get(helper_name, ()):
+                        key = (helper_facts.path, line, helper_name)
+                        findings.setdefault(key, set()).add(symbol)
+        violations: list[RuleViolation] = []
+        for (path, line, helper_name), engines in sorted(findings.items()):
+            named = ", ".join(sorted(engines))
+            self._report(
+                violations,
+                graph,
+                path,
+                line,
+                f"per-element index loop in helper {helper_name!r} called "
+                f"from registered engine body ({named}): vectorize the "
+                "helper or justify with a pragma",
             )
+        return violations
+
+
+#: Project rule classes in code order (composed with the per-file rules
+#: by the registry; keep this the only hand-maintained list here).
+PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (
+    ConformanceRule,
+    GateRoundtripRule,
+    SeedProvenanceRule,
+    SnapshotCoverageRule,
+    CacheKeyCompletenessRule,
+    InterproceduralPurityRule,
+)
+
+
+def PROJECT_RULES() -> list[ProjectRule]:
+    """Fresh instances of every whole-program rule."""
+    return [cls() for cls in PROJECT_RULE_CLASSES]
+
+
+def run_project_rules_ex(
+    project: ProjectContext | None,
+    rules: Iterable[str] | None = None,
+    graph: ProjectGraph | None = None,
+) -> tuple[list[RuleViolation], int]:
+    """All whole-program rules over the available project views.
+
+    Returns (violations, pragma-suppressed count).  ``rules`` filters by
+    code; rules whose required view (context or graph) is absent simply
+    contribute nothing, so registry-only callers and fact-only callers
+    both work.
+    """
+    wanted = None if rules is None else set(rules)
+    violations: list[RuleViolation] = list(project.errors) if project else []
+    suppressed = 0
+    for rule in PROJECT_RULES():
+        if wanted is not None and rule.code not in wanted:
+            continue
+        violations.extend(rule.check(project, graph))
+        suppressed += rule.suppressed
+    return sorted(violations), suppressed
+
+
+def run_project_rules(
+    project: ProjectContext | None,
+    rules: Iterable[str] | None = None,
+    graph: ProjectGraph | None = None,
+) -> list[RuleViolation]:
+    """Back-compat wrapper around :func:`run_project_rules_ex`."""
+    violations, _ = run_project_rules_ex(project, rules=rules, graph=graph)
     return violations

@@ -1,6 +1,10 @@
 """Violation renderers: human terminal lines, machine JSON, and GitHub
 workflow-command output with a step-summary markdown table (the same
 ``$GITHUB_STEP_SUMMARY`` convention ``check_bench_regression.py`` uses).
+
+Each renderer takes the sorted violation list plus the count of findings
+silenced by ``# reprolint: disable=`` pragmas, so suppressions stay
+visible in the output rather than vanishing.
 """
 
 from __future__ import annotations
@@ -19,8 +23,15 @@ __all__ = [
 ]
 
 
-def render_human(violations: Sequence[RuleViolation]) -> str:
+def _suppressed_note(suppressed: int) -> str:
+    plural = "s" if suppressed != 1 else ""
+    return f"{suppressed} finding{plural} suppressed by pragmas"
+
+
+def render_human(violations: Sequence[RuleViolation], suppressed: int = 0) -> str:
     if not violations:
+        if suppressed:
+            return f"reprolint: clean ({_suppressed_note(suppressed)})"
         return "reprolint: clean"
     lines = [
         f"{v.location()}: {v.rule} {v.message}" for v in violations
@@ -28,14 +39,18 @@ def render_human(violations: Sequence[RuleViolation]) -> str:
     counts = Counter(v.rule for v in violations)
     tally = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
     plural = "s" if len(violations) != 1 else ""
-    lines.append(f"reprolint: {len(violations)} violation{plural} ({tally})")
+    summary = f"reprolint: {len(violations)} violation{plural} ({tally})"
+    if suppressed:
+        summary += f"; {_suppressed_note(suppressed)}"
+    lines.append(summary)
     return "\n".join(lines)
 
 
-def render_json(violations: Sequence[RuleViolation]) -> str:
+def render_json(violations: Sequence[RuleViolation], suppressed: int = 0) -> str:
     payload = {
         "clean": not violations,
         "count": len(violations),
+        "suppressed": suppressed,
         "by_rule": dict(sorted(Counter(v.rule for v in violations).items())),
         "violations": [
             {
@@ -50,10 +65,12 @@ def render_json(violations: Sequence[RuleViolation]) -> str:
     return json.dumps(payload, indent=2)
 
 
-def render_github(violations: Sequence[RuleViolation]) -> str:
+def render_github(violations: Sequence[RuleViolation], suppressed: int = 0) -> str:
     """``::error`` workflow commands — one annotation per violation, so
     findings surface inline on the PR diff."""
     if not violations:
+        if suppressed:
+            return f"reprolint: clean ({_suppressed_note(suppressed)})"
         return "reprolint: clean"
     return "\n".join(
         f"::error file={v.path},line={v.line},title=reprolint {v.rule}::{v.message}"

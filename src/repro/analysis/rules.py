@@ -2,8 +2,10 @@
 
 Each rule encodes one determinism or conformance contract the repo
 learned the hard way (DESIGN.md "Enforced invariants" names the PR or
-bug class behind each).  Cross-file rules RL003/RL007 live in
-:mod:`repro.analysis.project`.
+bug class behind each).  Whole-program rules — RL003/RL007 plus the v2
+dataflow rules RL009–RL012 — live in :mod:`repro.analysis.project`; the
+single source of truth for the full rule set is
+:mod:`repro.analysis.registry`.
 """
 
 from __future__ import annotations
@@ -14,50 +16,12 @@ from typing import Iterator
 
 from .core import LintContext, Rule
 
-__all__ = ["FILE_RULES", "RULE_DESCRIPTIONS", "engine_symbols_by_module"]
-
-RULE_DESCRIPTIONS: dict[str, str] = {
-    "RL001": (
-        "RNG discipline: no seedless or literal-seeded np.random.default_rng "
-        "or stdlib random in src/repro; seeds must be threaded parameters or "
-        "config-derived (difftest.spawn_streams)"
-    ),
-    "RL002": (
-        "engine purity: registered vectorized engines must not run "
-        "per-element Python index loops over struct-of-arrays fields"
-    ),
-    "RL003": (
-        "spec/engine conformance: every register_engine_pair has a "
-        "differential test in tests/ and a gated bench_baseline.json metric; "
-        "no dead baseline keys"
-    ),
-    "RL004": (
-        "NaN convention: empty-window statistics return float('nan'), "
-        "never 0/0.0"
-    ),
-    "RL005": (
-        "float determinism: set-ordered iteration must not feed float "
-        "accumulation or event scheduling in repro.cluster/repro.reliability"
-    ),
-    "RL006": (
-        "config validation: numeric dataclass-config fields named like "
-        "*_rate*/*_duration*/*_timeout* (also bandwidth/latency/rtt) must be "
-        "referenced by the config's validate()"
-    ),
-    "RL007": (
-        "bench-gate consistency: every gate_speedup metric name round-trips "
-        "through bench_baseline.json (schema 2)"
-    ),
-    "RL008": (
-        "exception hygiene: no bare except: and no except Exception/"
-        "BaseException that silently passes in src/repro; catch the "
-        "narrow type or handle (log, quarantine, re-raise)"
-    ),
-}
-
-
-def _in_src_repro(context: LintContext) -> bool:
-    return context.module == "repro" or context.module.startswith("repro.")
+__all__ = [
+    "FILE_RULES",
+    "FILE_RULE_CLASSES",
+    "engine_symbols_by_module",
+    "per_element_loops",
+]
 
 
 def _call_name(node: ast.Call) -> str:
@@ -74,7 +38,7 @@ def _call_name(node: ast.Call) -> str:
 
 
 # --------------------------------------------------------------------------
-# RL001: RNG discipline
+# RL001: RNG discipline (global-state entry points)
 # --------------------------------------------------------------------------
 
 #: Stdlib ``random`` entry points that read or mutate hidden global state.
@@ -89,46 +53,34 @@ _RANDOM_GLOBAL_FNS = frozenset(
 
 
 class RngDisciplineRule(Rule):
-    """RL001: every Generator must trace back to an explicit seed.
+    """RL001: no hidden global RNG state.
 
-    Flags, inside ``src/repro`` only:
-
-    * ``np.random.default_rng()`` — seedless: irreproducible;
-    * ``np.random.default_rng(<literal>)`` — a hidden constant seed (the
-      PR 3 ``FailureInjector`` ``default_rng(1234)`` bug class): every
-      caller shares one stream no matter what the experiment seed says;
-    * stdlib ``random.*`` global-state functions and legacy
-      ``np.random.<fn>`` calls — unseedable ambient state.
-
-    Seeds threaded as parameters (``default_rng(seed)``), spawned
-    streams and content-derived expressions all pass.
+    Flags, inside ``src/repro`` only, stdlib ``random.*`` global-state
+    functions and legacy ``np.random.<fn>`` calls — ambient state that
+    no config seed can reach.  (Seedless and literal-seeded
+    ``default_rng`` calls, RL001's old syntactic check, are now the
+    strictly stronger RL009 dataflow rule's job.)
     """
 
     code = "RL001"
-    description = RULE_DESCRIPTIONS["RL001"]
-
-    def applies_to(self, context: LintContext) -> bool:
-        return _in_src_repro(context)
+    description = (
+        "RNG discipline: no stdlib random.* or legacy np.random.* "
+        "global-state calls in src/repro; every Generator comes from "
+        "default_rng/spawn_streams with a threaded seed (see RL009)"
+    )
+    scopes = ("src",)
+    contract = (
+        "Inside src/repro, never call stdlib random.* functions or legacy "
+        "np.random.<fn> module-level functions: both draw from hidden "
+        "global state that no config seed controls, so runs are not "
+        "reproducible and parallel workers silently share streams."
+    )
+    example_bad = "delay = random.uniform(0.0, jitter)"
+    example_good = "delay = rng.uniform(0.0, jitter)  # rng threaded from config seed"
+    escape = "# reprolint: disable=RL001 on the call line"
 
     def visit_Call(self, context: LintContext, node: ast.Call) -> None:
         name = _call_name(node)
-        if name.endswith("default_rng"):
-            if not node.args and not node.keywords:
-                context.report(
-                    self.code,
-                    node,
-                    "seedless default_rng(): thread an explicit seed/rng "
-                    "parameter (derive via difftest.spawn_streams)",
-                )
-            elif node.args and isinstance(node.args[0], ast.Constant):
-                context.report(
-                    self.code,
-                    node,
-                    f"literal-seeded default_rng({node.args[0].value!r}): "
-                    "a hidden constant seed defeats config-derived "
-                    "reproducibility; thread a seed/rng parameter",
-                )
-            return
         parts = name.split(".")
         if len(parts) == 2 and parts[0] == "random" and parts[1] in _RANDOM_GLOBAL_FNS:
             context.report(
@@ -169,9 +121,7 @@ def engine_symbols_by_module() -> dict[str, frozenset[str]]:
 
 
 def _loop_var_names(target: ast.expr) -> set[str]:
-    return {
-        n.id for n in ast.walk(target) if isinstance(n, ast.Name)
-    }
+    return {n.id for n in ast.walk(target) if isinstance(n, ast.Name)}
 
 
 def _subscripted_by(node: ast.AST, names: set[str]) -> ast.AST | None:
@@ -182,6 +132,32 @@ def _subscripted_by(node: ast.AST, names: set[str]) -> ast.AST | None:
                 if isinstance(inner, ast.Name) and inner.id in names:
                     return sub
     return None
+
+
+def per_element_loops(scope: ast.AST) -> list[int]:
+    """Lines of ``for i in range(...)`` loops whose body subscripts with
+    the loop variable — the per-element scalar pattern RL002/RL012 flag.
+
+    Shared between the per-file engine-purity rule and whole-program
+    fact extraction (which records these for every module-level function
+    so RL012 can follow engine calls into helpers).
+    """
+    lines: list[int] = []
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.For):
+            continue
+        iterator = node.iter
+        if not (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+        ):
+            continue
+        loop_vars = _loop_var_names(node.target)
+        body = ast.Module(body=node.body, type_ignores=[])
+        if _subscripted_by(body, loop_vars) is not None:
+            lines.append(node.lineno)
+    return lines
 
 
 class EnginePurityRule(Rule):
@@ -197,7 +173,23 @@ class EnginePurityRule(Rule):
     """
 
     code = "RL002"
-    description = RULE_DESCRIPTIONS["RL002"]
+    description = (
+        "engine purity: registered vectorized engines must not run "
+        "per-element Python index loops over struct-of-arrays fields"
+    )
+    scopes = ("src",)
+    contract = (
+        "The body of every engine symbol registered in the difftest "
+        "matrix must stay vectorized: no `for i in range(...)` loop that "
+        "subscripts arrays with the loop variable.  Per-element Python "
+        "loops erase the >=10x speedups the bench gates enforce.  RL012 "
+        "extends the same check one call level into helper functions."
+    )
+    example_bad = (
+        "for i in range(n):\n        out[i] = weights[i] * counts[i]"
+    )
+    example_good = "out = weights * counts"
+    escape = "# reprolint: disable=RL002 on the for-statement line"
 
     def __init__(self, engine_symbols: dict[str, frozenset[str]] | None = None):
         self._engine_symbols = engine_symbols
@@ -210,7 +202,7 @@ class EnginePurityRule(Rule):
         return table.get(context.module, frozenset())
 
     def applies_to(self, context: LintContext) -> bool:
-        return _in_src_repro(context) and bool(self._symbols_for(context))
+        return super().applies_to(context) and bool(self._symbols_for(context))
 
     def _check_scope(self, context: LintContext, scope: ast.AST, name: str) -> None:
         for node in ast.walk(scope):
@@ -294,16 +286,34 @@ class NanConventionRule(Rule):
 
     PR 3 swept ``return 0`` out of every stats path (a zero availability
     and a perfect one are *different answers*); this rule pins the
-    convention: inside ``src/repro``, a function or property whose name
-    reads like a statistic must not ``return 0``/``0.0`` directly under
-    an emptiness guard.
+    convention: a function or property whose name reads like a statistic
+    must not ``return 0``/``0.0`` directly under an emptiness guard.
+    Scoped to ``src/repro`` plus ``benchmarks/`` and ``examples/`` —
+    experiment drivers compute summary statistics too.
     """
 
     code = "RL004"
-    description = RULE_DESCRIPTIONS["RL004"]
-
-    def applies_to(self, context: LintContext) -> bool:
-        return _in_src_repro(context)
+    description = (
+        "NaN convention: empty-window statistics return float('nan'), "
+        "never 0/0.0 (src, benchmarks, examples)"
+    )
+    scopes = ("src", "benchmarks", "examples")
+    contract = (
+        "A function or property whose name reads like a statistic "
+        "(mean/percentile/availability/...) must return float('nan') for "
+        "an empty window, never 0: a measured zero and no-data are "
+        "different answers, and downstream aggregation must be able to "
+        "tell them apart (np.nanmean skips NaN, but averages in a bogus 0)."
+    )
+    example_bad = (
+        "def mean_repair_duration(xs):\n"
+        "    if not xs:\n        return 0.0"
+    )
+    example_good = (
+        "def mean_repair_duration(xs):\n"
+        "    if not xs:\n        return float('nan')"
+    )
+    escape = "# reprolint: disable=RL004 on the return line"
 
     def _check_function(self, context: LintContext, node: ast.AST) -> None:
         if not _STATS_NAME.search(getattr(node, "name", "")):
@@ -383,7 +393,27 @@ class FloatDeterminismRule(Rule):
     """
 
     code = "RL005"
-    description = RULE_DESCRIPTIONS["RL005"]
+    description = (
+        "float determinism: set-ordered iteration must not feed float "
+        "accumulation or event scheduling in repro.cluster/repro.reliability"
+    )
+    scopes = ("src",)
+    contract = (
+        "In the simulation tiers (repro.cluster, repro.reliability), a "
+        "for-loop over a set (or a name bound to one) must not feed "
+        "float accumulation (+=/-=) or event scheduling: set iteration "
+        "order varies across processes, so float rounding — and event "
+        "tie-breaking — would differ run to run.  Sort first."
+    )
+    example_bad = (
+        "for flow in active_flows:  # a set\n"
+        "    total += flow_rate[flow]"
+    )
+    example_good = (
+        "for flow in sorted(active_flows):\n"
+        "    total += flow_rate[flow]"
+    )
+    escape = "# reprolint: disable=RL005 on the for-statement line"
 
     def applies_to(self, context: LintContext) -> bool:
         return context.module.startswith(("repro.cluster", "repro.reliability"))
@@ -463,10 +493,31 @@ class ConfigValidationRule(Rule):
     """
 
     code = "RL006"
-    description = RULE_DESCRIPTIONS["RL006"]
-
-    def applies_to(self, context: LintContext) -> bool:
-        return _in_src_repro(context)
+    description = (
+        "config validation: numeric dataclass-config fields named like "
+        "*_rate*/*_duration*/*_timeout* (also bandwidth/latency/rtt) must be "
+        "referenced by the config's validate()"
+    )
+    scopes = ("src",)
+    contract = (
+        "Every numeric dataclass-config field whose name matches "
+        "rate/duration/timeout/bandwidth/latency/rtt must be referenced "
+        "by the config's validate() method; config-like dataclasses with "
+        "guarded fields and no validate() at all are flagged.  Degenerate "
+        "values (0 rates, negative durations) must fail fast, not surface "
+        "as ZeroDivisionError mid-simulation."
+    )
+    example_bad = (
+        "@dataclass(frozen=True)\n"
+        "class LinkConfig:\n"
+        "    drain_rate: float = 1.0  # validate() never checks it"
+    )
+    example_good = (
+        "def validate(self):\n"
+        "    if self.drain_rate <= 0:\n"
+        "        raise ValueError('drain_rate must be positive')"
+    )
+    escape = "# reprolint: disable=RL006 on the field (or class) line"
 
     @staticmethod
     def _is_dataclass(node: ast.ClassDef) -> bool:
@@ -572,18 +623,34 @@ class ExceptionHygieneRule(Rule):
     — a checksum mismatch, a truncated pickle, a crashed worker — and
     routed to an explicit fallback.  A bare ``except:`` (which also eats
     ``KeyboardInterrupt``/``SystemExit``) or an ``except Exception:
-    pass`` turns any such failure into silent state divergence, so
-    inside ``src/repro`` both are flagged: bare handlers always, broad
-    handlers when their body does nothing but pass.  Handlers that act
-    (quarantine, record, re-raise) and narrow types (``except OSError:
-    pass`` on best-effort cleanup) are fine.
+    pass`` turns any such failure into silent state divergence, so both
+    are flagged: bare handlers always, broad handlers when their body
+    does nothing but pass.  Handlers that act (quarantine, record,
+    re-raise) and narrow types (``except OSError: pass`` on best-effort
+    cleanup) are fine.  Scoped to ``src/repro``, ``benchmarks/`` and
+    ``examples/`` — drivers swallow failures just as silently.
     """
 
     code = "RL008"
-    description = RULE_DESCRIPTIONS["RL008"]
-
-    def applies_to(self, context: LintContext) -> bool:
-        return _in_src_repro(context)
+    description = (
+        "exception hygiene: no bare except: and no except Exception/"
+        "BaseException that silently passes (src, benchmarks, examples); "
+        "catch the narrow type or handle (log, quarantine, re-raise)"
+    )
+    scopes = ("src", "benchmarks", "examples")
+    contract = (
+        "No bare `except:` anywhere (it eats KeyboardInterrupt and "
+        "SystemExit), and no `except Exception:`/`except BaseException:` "
+        "whose body only passes.  Crash-safety depends on failures being "
+        "detected and routed to an explicit fallback, never silently "
+        "swallowed."
+    )
+    example_bad = "try:\n    restore(path)\nexcept Exception:\n    pass"
+    example_good = (
+        "try:\n    restore(path)\n"
+        "except SnapshotError as exc:\n    quarantine(path, exc)"
+    )
+    escape = "# reprolint: disable=RL008 on the except line"
 
     def visit_ExceptHandler(self, context: LintContext, node: ast.ExceptHandler) -> None:
         if node.type is None:
@@ -605,14 +672,19 @@ class ExceptionHygieneRule(Rule):
             )
 
 
+#: Per-file rule classes in code order (the registry composes these with
+#: the project rules; keep this the only hand-maintained list here).
+FILE_RULE_CLASSES: tuple[type[Rule], ...] = (
+    RngDisciplineRule,
+    EnginePurityRule,
+    NanConventionRule,
+    FloatDeterminismRule,
+    ConfigValidationRule,
+    ExceptionHygieneRule,
+)
+
+
 def FILE_RULES() -> list[Rule]:
     """Fresh instances of every per-file rule (they carry no state, but
     fresh construction keeps fixture tests isolated)."""
-    return [
-        RngDisciplineRule(),
-        EnginePurityRule(),
-        NanConventionRule(),
-        FloatDeterminismRule(),
-        ConfigValidationRule(),
-        ExceptionHygieneRule(),
-    ]
+    return [cls() for cls in FILE_RULE_CLASSES]

@@ -72,12 +72,16 @@ class BlockIndex:
         self.node_decommissioning = np.zeros(num_nodes, dtype=bool)
         self.node_block_count = np.zeros(num_nodes, dtype=np.int64)
 
+        # The slab layout columns (sid/pos/kind) and every cache below
+        # are pure functions of the deterministic rebuild — transient by
+        # the snapshot_state contract, which captures only the placement
+        # and liveness columns (see its docstring).
         capacity = max(int(initial_rows), 16)
         self.node = np.full(capacity, -1, dtype=np.int32)
         self.missing = np.zeros(capacity, dtype=bool)
-        self.sid = np.zeros(capacity, dtype=np.int32)
-        self.pos = np.zeros(capacity, dtype=np.int16)
-        self.kind = np.zeros(capacity, dtype=np.int8)
+        self.sid = np.zeros(capacity, dtype=np.int32)  # reprolint: transient
+        self.pos = np.zeros(capacity, dtype=np.int16)  # reprolint: transient
+        self.kind = np.zeros(capacity, dtype=np.int8)  # reprolint: transient
         self.rows_used = 0
 
         # Stripe table (registration order).  Bases/widths live in plain
@@ -86,24 +90,24 @@ class BlockIndex:
         self.stripes: list[Stripe] = []
         self._base_list: list[int] = []
         self._n_list: list[int] = []
-        self._base_array: np.ndarray | None = None
-        self._n_array: np.ndarray | None = None
+        self._base_array: np.ndarray | None = None  # reprolint: transient
+        self._n_array: np.ndarray | None = None  # reprolint: transient
         self._stripe_files: list[str] = []
         self._stripe_indices: list[int] = []
         self._virtual_bits: list[int] = []
-        self._sid_by_key: dict[tuple[str, int], int] = {}
+        self._sid_by_key: dict[tuple[str, int], int] = {}  # reprolint: transient
         # Lexicographic rank of each stripe key, rebuilt lazily: block
         # ordering is (file_name, stripe_index, position) and scans must
         # return blocks in exactly that order.
-        self._stripe_rank: np.ndarray | None = None
+        self._stripe_rank: np.ndarray | None = None  # reprolint: transient
         # Per-code kind row template, computed once per code object.
-        self._kind_template: dict[int, np.ndarray] = {}
+        self._kind_template: dict[int, np.ndarray] = {}  # reprolint: transient
         # Interning caches for the bulk repair-queue builder: erasure
         # patterns repeat massively across stripes (a node failure gives
         # at most n distinct patterns), so sets/tuples are built once
         # per distinct bitmask, not once per stripe.
-        self._usable_cache: dict[int, frozenset[int]] = {}
-        self._missing_cache: dict[int, tuple[int, ...]] = {}
+        self._usable_cache: dict[int, frozenset[int]] = {}  # reprolint: transient
+        self._missing_cache: dict[int, tuple[int, ...]] = {}  # reprolint: transient
 
         self.stored_count = 0
         self.missing_count = 0

@@ -15,6 +15,7 @@ block *sizes* are simulated, block *math* is real.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, NamedTuple
 
@@ -64,6 +65,28 @@ def block_kind(code: "ErasureCode", position: int) -> str:
     return "local_parity"
 
 
+#: Knuth's multiplicative-hash constant: an odd stride, so the Weyl
+#: sequence below is full-period mod 2^32 before the field fold.
+_CONTENT_STRIDE = np.uint64(2654435761)
+
+
+def _content_elements(
+    file_name: str, index: int, field_: "object", shape: tuple[int, int]
+) -> np.ndarray:
+    """Deterministic pseudo-content for verification payloads.
+
+    A crc32-keyed Weyl sequence folded into the field: well-mixed enough
+    to exercise the real decoders, derived purely from the block's
+    identity so every process regenerates identical bytes.
+    """
+    salt = zlib.crc32(f"{file_name}:{index}".encode("utf-8"))
+    count = int(np.prod(shape))
+    values = np.uint64(salt) + np.arange(count, dtype=np.uint64) * _CONTENT_STRIDE
+    return (
+        (values % np.uint64(field_.order)).astype(field_.dtype).reshape(shape)
+    )
+
+
 class Stripe:
     """One erasure-coded stripe: ``n`` positions, some possibly virtual.
 
@@ -94,12 +117,21 @@ class Stripe:
         self._payload: np.ndarray | None = None
         self._payload_data: np.ndarray | None = None
         if payload_bytes:
-            if rng is None:
-                rng = np.random.default_rng(hash((file_name, index)) & 0xFFFF_FFFF)
             data = np.zeros((code.k, payload_bytes), dtype=code.field.dtype)
-            data[:data_blocks] = code.field.random_elements(
-                rng, (data_blocks, payload_bytes)
-            )
+            if rng is None:
+                # Content identity, not experiment entropy: derive the
+                # verification bytes from the block's name so they are
+                # stable across processes.  (A default_rng over hash()
+                # here was PYTHONHASHSEED-randomized — payloads differed
+                # between runs, breaking cross-process checkpoint
+                # equivalence.)
+                data[:data_blocks] = _content_elements(
+                    file_name, index, code.field, (data_blocks, payload_bytes)
+                )
+            else:
+                data[:data_blocks] = code.field.random_elements(
+                    rng, (data_blocks, payload_bytes)
+                )
             # Encoding is deferred: the storage layer batches whole groups
             # of stripes through the codec engine (one kernel call), and
             # any stray access encodes lazily via the property below.

@@ -56,7 +56,10 @@ def draw_placement(
     see identical layouts for the same placement stream.
     """
     placement = np.zeros((config.num_stripes, code.n), dtype=np.int64)
-    for stripe in range(config.num_stripes):
+    # One choice() per stripe is the draw-sequence contract: vectorizing
+    # would consume the stream differently and break layout equality
+    # between spec and engine for an existing seed.
+    for stripe in range(config.num_stripes):  # reprolint: disable=RL012
         placement[stripe] = rng.choice(
             config.num_nodes, size=code.n, replace=False
         )

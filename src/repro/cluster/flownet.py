@@ -100,22 +100,25 @@ class FlowTable:
         self.cross_rack_bytes = 0.0
 
         # -- flow columns (row order is admission order) -------------------
+        # All row storage is transient by the quiescence contract:
+        # snapshot_state refuses to run with flows in flight, so these
+        # columns are empty at every capture point (see its docstring).
         cap = _INITIAL_CAPACITY
-        self._src = np.zeros(cap, dtype=np.int64)  # node index
-        self._dst = np.zeros(cap, dtype=np.int64)
-        self._remaining = np.zeros(cap, dtype=np.float64)
-        self._rate = np.zeros(cap, dtype=np.float64)
-        self._tdone = np.zeros(cap, dtype=np.float64)
-        self._order = np.zeros(cap, dtype=np.int64)  # completion tie order
-        self._res = np.full((cap, _RES_SLOTS), -1, dtype=np.int64)
-        self._local = np.zeros(cap, dtype=bool)
-        self._disk = np.zeros(cap, dtype=bool)
-        self._xr = np.zeros(cap, dtype=bool)  # metered cross-rack flow
-        self._active = np.zeros(cap, dtype=bool)
-        self._on_complete: list[Callable[[], None] | None] = [None] * cap
-        self._on_fail: list[Callable[[], None] | None] = [None] * cap
-        self._handles: list[FlowHandle | None] = [None] * cap
-        self._n = 0  # rows in use (incl. completed, until compaction)
+        self._src = np.zeros(cap, dtype=np.int64)  # reprolint: transient (node index)
+        self._dst = np.zeros(cap, dtype=np.int64)  # reprolint: transient
+        self._remaining = np.zeros(cap, dtype=np.float64)  # reprolint: transient
+        self._rate = np.zeros(cap, dtype=np.float64)  # reprolint: transient
+        self._tdone = np.zeros(cap, dtype=np.float64)  # reprolint: transient
+        self._order = np.zeros(cap, dtype=np.int64)  # reprolint: transient (tie order)
+        self._res = np.full((cap, _RES_SLOTS), -1, dtype=np.int64)  # reprolint: transient
+        self._local = np.zeros(cap, dtype=bool)  # reprolint: transient
+        self._disk = np.zeros(cap, dtype=bool)  # reprolint: transient
+        self._xr = np.zeros(cap, dtype=bool)  # reprolint: transient (cross-rack)
+        self._active = np.zeros(cap, dtype=bool)  # reprolint: transient
+        self._on_complete: list[Callable[[], None] | None] = [None] * cap  # reprolint: transient
+        self._on_fail: list[Callable[[], None] | None] = [None] * cap  # reprolint: transient
+        self._handles: list[FlowHandle | None] = [None] * cap  # reprolint: transient
+        self._n = 0  # reprolint: transient (rows in use until compaction)
         self._active_count = 0
 
         # -- interning -----------------------------------------------------
@@ -130,14 +133,14 @@ class FlowTable:
         self._num_resources = 0
 
         # -- per-node flow index (row ids; stale ids filtered lazily) ------
-        self._rows_by_node: dict[int, list[int]] = {}
+        self._rows_by_node: dict[int, list[int]] = {}  # reprolint: transient
 
-        # -- scheduling state ----------------------------------------------
+        # -- scheduling state (empty/idle at quiescent snapshots) ----------
         self._last_time = 0.0
-        self._dirty = False
-        self._flush_event: Event | None = None
-        self._sentinel: Event | None = None
-        self._abort_depth = 0
+        self._dirty = False  # reprolint: transient
+        self._flush_event: Event | None = None  # reprolint: transient
+        self._sentinel: Event | None = None  # reprolint: transient
+        self._abort_depth = 0  # reprolint: transient
 
         # -- observability -------------------------------------------------
         self.reallocations = 0

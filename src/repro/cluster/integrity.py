@@ -147,7 +147,8 @@ def heal_stripe(
         if p not in corrupt
     }
     # Virtual zero-padding positions are known-zero and free to use.
-    for p in range(stripe.data_blocks, stripe.code.k):
+    # (Loop spans at most k dict entries, not per-element payload data.)
+    for p in range(stripe.data_blocks, stripe.code.k):  # reprolint: disable=RL012
         healthy[p] = np.zeros(
             stripe.payload.shape[1], dtype=stripe.code.field.dtype
         )

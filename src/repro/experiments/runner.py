@@ -246,7 +246,9 @@ def run_failure_schedule(
     else:
         fixer.start()
         cluster.run(until=warmup)
-    for index in range(start_epoch, len(pattern)):
+    # Failure epochs are sequential simulation phases by definition —
+    # each iteration runs the cluster to quiescence, not per-element math.
+    for index in range(start_epoch, len(pattern)):  # reprolint: disable=RL012
         nodes_to_kill = pattern[index]
         if (
             checkpoint is not None

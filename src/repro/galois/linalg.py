@@ -57,10 +57,12 @@ def gf_matmul(field: GF, a, b) -> np.ndarray:
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
     out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
-    for i in range(a.shape[0]):
+    # Loops cover the (rows, k) code dimensions only; each addmul is one
+    # vectorized pass over the full payload width.
+    for i in range(a.shape[0]):  # reprolint: disable=RL012
         acc = out[i]
         row = a[i]
-        for k in range(a.shape[1]):
+        for k in range(a.shape[1]):  # reprolint: disable=RL012
             field.addmul(acc, row[k], b[k])
     return out
 
@@ -96,13 +98,15 @@ def gf_matmul_batch(field: GF, a, batch) -> np.ndarray:
     flat = np.ascontiguousarray(batch.transpose(1, 0, 2)).reshape(k, -1)
     out = np.zeros((rows, stripes * width), dtype=field.dtype)
     table = field.mul_table
-    for j in range(k):
+    # (k, rows) are code dimensions; every operation below acts on a
+    # whole (stripes * width) symbol plane at once.
+    for j in range(k):  # reprolint: disable=RL012
         plane = flat[j]
         column = a[:, j]
         index = None  # computed lazily, shared by every row needing it
         log_plane = None
         zero_mask = None
-        for i in range(rows):
+        for i in range(rows):  # reprolint: disable=RL012
             coeff = int(column[i])
             if coeff == 0:
                 continue

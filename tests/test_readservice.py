@@ -366,3 +366,54 @@ class TestScenarioHarness:
         table = render_degraded_scenarios(results)
         assert "rack-correlated" in table
         assert "LRC(10,6,5)" in table
+
+    def test_scenario_sweep_is_cached_per_cell(self, tmp_path):
+        from repro.experiments import degraded_scenarios, run_degraded_scenarios
+        from repro.experiments.parallel import ResultCache
+
+        scenarios = degraded_scenarios(duration=900.0, read_rate=1.0)[:2]
+        cache = ResultCache(tmp_path)
+        first = run_degraded_scenarios(scenarios=scenarios, seed=3, cache=cache)
+        # 2 scenarios x 3 registry schemes, every cell a fresh run.
+        assert cache.misses == 6 and cache.hits == 0
+        warm = ResultCache(tmp_path)
+        second = run_degraded_scenarios(scenarios=scenarios, seed=3, cache=warm)
+        assert warm.hits == 6 and warm.misses == 0
+        for name in first:
+            for a, b in zip(first[name], second[name]):
+                assert a.scheme == b.scheme
+                assert a.latencies == b.latencies
+
+    def test_scenario_config_keys_every_config_field(self):
+        from dataclasses import asdict
+
+        from repro.cluster.degraded import DegradedReadConfig
+        from repro.experiments.degraded import (
+            run_scenario_config,
+            scenario_config,
+        )
+
+        config = DegradedReadConfig(duration=600.0, read_rate=1.0)
+        cell = scenario_config("uniform", "RS(10,4)", config, seed=5)
+        assert set(cell["config"]) == set(asdict(config))
+        stats = run_scenario_config(cell)
+        assert stats.scheme == "RS(10,4)"
+
+    def test_scenario_config_rejects_unknown_scheme(self):
+        import pytest
+
+        from repro.cluster.degraded import DegradedReadConfig
+        from repro.experiments.degraded import scenario_config
+
+        with pytest.raises(ValueError, match="unknown scheme"):
+            scenario_config("uniform", "nope", DegradedReadConfig())
+
+    def test_ad_hoc_codes_fall_back_to_direct_path(self):
+        from repro.codes import rs_10_4
+        from repro.experiments import degraded_scenarios, run_degraded_scenarios
+
+        code = rs_10_4()
+        code.name = "custom-RS"  # not in the scheme registry
+        scenarios = degraded_scenarios(duration=600.0, read_rate=1.0)[:1]
+        results = run_degraded_scenarios(codes=[code], scenarios=scenarios)
+        assert [s.scheme for s in results["uniform"]] == ["custom-RS"]
